@@ -1,0 +1,174 @@
+// Benchmarks, one per paper table/figure, wrapping the same experiment
+// runners as cmd/neuroc-bench in quick mode. `go test -bench=. -benchmem`
+// therefore regenerates a CI-sized version of the full evaluation;
+// `cmd/neuroc-bench -exp all` produces the paper-scale numbers.
+package neuroc_test
+
+import (
+	"testing"
+
+	"github.com/neuro-c/neuroc/internal/bench"
+	"github.com/neuro-c/neuroc/internal/device"
+	"github.com/neuro-c/neuroc/internal/encoding"
+	"github.com/neuro-c/neuroc/internal/modelimg"
+	"github.com/neuro-c/neuroc/internal/quant"
+	"github.com/neuro-c/neuroc/internal/rng"
+)
+
+func quickRunner() *bench.Runner {
+	return bench.New(bench.Config{Quick: true, Seed: 1})
+}
+
+func BenchmarkTable1MCUClasses(b *testing.B) {
+	r := quickRunner()
+	for i := 0; i < b.N; i++ {
+		if tb := r.Table1(); len(tb.Rows) != 3 {
+			b.Fatal("table 1 malformed")
+		}
+	}
+}
+
+func BenchmarkFig1AdjacencyStrategies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tb := quickRunner().Fig1(); len(tb.Rows) == 0 {
+			b.Fatal("fig 1 empty")
+		}
+	}
+}
+
+func BenchmarkFig2FCvsCNN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tb := quickRunner().Fig2(); len(tb.Rows) == 0 {
+			b.Fatal("fig 2 empty")
+		}
+	}
+}
+
+func BenchmarkFig3EncodingLayouts(b *testing.B) {
+	r := quickRunner()
+	for i := 0; i < b.N; i++ {
+		if tb := r.Fig3(); len(tb.Rows) != 4 {
+			b.Fatal("fig 3 malformed")
+		}
+	}
+}
+
+func BenchmarkFig5Encodings(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lat, flash := quickRunner().Fig5()
+		if len(lat.Rows) == 0 || len(flash.Rows) == 0 {
+			b.Fatal("fig 5 empty")
+		}
+	}
+}
+
+func BenchmarkFig6MLPvsNeuroC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := quickRunner().Fig6()
+		if len(tables) != 4 {
+			b.Fatal("fig 6 should emit 6a-6d")
+		}
+	}
+}
+
+func BenchmarkFig7BestDeployable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tb := quickRunner().Fig7(); len(tb.Rows) == 0 {
+			b.Fatal("fig 7 empty")
+		}
+	}
+}
+
+func BenchmarkFig8TNNAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tb := quickRunner().Fig8(); len(tb.Rows) == 0 {
+			b.Fatal("fig 8 empty")
+		}
+	}
+}
+
+// BenchmarkDeviceInference measures raw emulator throughput: one
+// inference of a mid-sized Neuro-C layer per iteration (host-side cost
+// of simulating the device, not device latency itself).
+func BenchmarkDeviceInference(b *testing.B) {
+	r := rng.New(1)
+	layer := benchLayer(r, 256, 64, 0.1)
+	m := &quant.Model{Layers: []*quant.Layer{layer}, InputScale: 127}
+	img, err := modelimg.Build(m, modelimg.UseBlock)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev, err := device.New(img)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := make([]int8, 256)
+	for i := range in {
+		in[i] = int8(r.Intn(255) - 127)
+	}
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		res, err := dev.Run(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(cycles), "device-cycles/op")
+}
+
+// BenchmarkHostQuantInference measures the bit-exact host reference for
+// the same layer, the fast path used for accuracy evaluation.
+func BenchmarkHostQuantInference(b *testing.B) {
+	r := rng.New(1)
+	layer := benchLayer(r, 256, 64, 0.1)
+	m := &quant.Model{Layers: []*quant.Layer{layer}, InputScale: 127}
+	in := make([]int8, 256)
+	for i := range in {
+		in[i] = int8(r.Intn(255) - 127)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Infer(in)
+	}
+}
+
+// benchLayer builds a random ternary layer for throughput benchmarks.
+func benchLayer(r *rng.RNG, in, out int, density float64) *quant.Layer {
+	l := &quant.Layer{
+		Kind: quant.Ternary, In: in, Out: out,
+		PerNeuron: true, PreShift: 0, PostShift: 7,
+		Bias: make([]int32, out), Mults: make([]int32, out), ReLU: true,
+	}
+	a := quantMatrix(r, in, out, density)
+	l.A = a
+	for o := range l.Mults {
+		l.Mults[o] = 100
+	}
+	return l
+}
+
+func quantMatrix(r *rng.RNG, in, out int, density float64) *encoding.Matrix {
+	m := encoding.NewMatrix(in, out)
+	for o := 0; o < out; o++ {
+		for i := 0; i < in; i++ {
+			if r.Bool(density) {
+				if r.Bool(0.5) {
+					m.Set(o, i, 1)
+				} else {
+					m.Set(o, i, -1)
+				}
+			}
+		}
+	}
+	return m
+}
+
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tables := quickRunner().Ablations(); len(tables) != 3 {
+			b.Fatal("ablations malformed")
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Command m0run executes a raw flash image on the emulated Cortex-M0
+// until the core halts (BKPT), reporting cycle counts and final
+// register state. Optionally a raw byte file is loaded into SRAM first
+// and a region of SRAM is dumped afterwards.
+//
+//	m0run -img model.bin -in input.raw -in-addr 0x20000000 \
+//	      -dump-addr 0x20000310 -dump-len 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"github.com/neuro-c/neuroc/internal/armv6m"
+	"github.com/neuro-c/neuroc/internal/device"
+	"github.com/neuro-c/neuroc/internal/modelimg"
+	"github.com/neuro-c/neuroc/internal/quant"
+)
+
+func main() {
+	img := flag.String("img", "", "flash image file (or -model)")
+	model := flag.String("model", "", "NCQ1 quantized model file: builds and runs a flash image")
+	encName := flag.String("encoding", "block", "adjacency encoding when using -model")
+	in := flag.String("in", "", "raw bytes to preload into SRAM")
+	inAddr := flag.String("in-addr", "0x20000000", "SRAM address for -in")
+	dumpAddr := flag.String("dump-addr", "", "SRAM address to dump after halt")
+	dumpLen := flag.Int("dump-len", 16, "bytes to dump")
+	maxInstr := flag.Uint64("max-instr", 500_000_000, "instruction budget before giving up")
+	ws := flag.Int("flash-ws", 0, "flash wait states (0 at 8 MHz, 1 above 24 MHz)")
+	flag.Parse()
+
+	if *img == "" && *model == "" {
+		fatal(fmt.Errorf("-img or -model is required"))
+	}
+	var code []byte
+	if *model != "" {
+		f, err := os.Open(*model)
+		if err != nil {
+			fatal(err)
+		}
+		qm, err := quant.Load(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		enc := map[string]modelimg.EncodingChoice{
+			"block": modelimg.UseBlock, "csc": modelimg.UseCSC,
+			"delta": modelimg.UseDelta, "mixed": modelimg.UseMixed,
+		}[*encName]
+		image, err := modelimg.Build(qm, enc)
+		if err != nil {
+			fatal(err)
+		}
+		code = image.Prog.Code
+		fmt.Printf("built %d-byte image from %s (input 0x%08x dim %d, output 0x%08x dim %d)\n",
+			len(code), *model, image.InAddr, image.InDim, image.OutAddr, image.OutDim)
+	} else {
+		var err error
+		code, err = os.ReadFile(*img)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	cpu := armv6m.New()
+	if len(code) > len(cpu.Bus.Flash) {
+		fatal(fmt.Errorf("image %d bytes exceeds %d bytes of flash", len(code), len(cpu.Bus.Flash)))
+	}
+	cpu.Bus.LoadFlash(0, code)
+	cpu.Bus.FlashWaitStates = *ws
+
+	if *in != "" {
+		data, err := os.ReadFile(*in)
+		if err != nil {
+			fatal(err)
+		}
+		addr, err := parseAddr(*inAddr)
+		if err != nil {
+			fatal(err)
+		}
+		for i, b := range data {
+			if err := cpu.Bus.Write8(addr+uint32(i), uint32(b)); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	if err := cpu.Reset(); err != nil {
+		fatal(err)
+	}
+	if err := cpu.Run(*maxInstr); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("halted: BKPT #%d after %d instructions, %d cycles (%.3f ms @ 8 MHz)\n",
+		cpu.HaltCode, cpu.Instructions, cpu.Cycles, device.CyclesToMS(cpu.Cycles))
+	for i := 0; i < 13; i++ {
+		fmt.Printf("r%-2d = 0x%08x  ", i, cpu.R[i])
+		if i%4 == 3 {
+			fmt.Println()
+		}
+	}
+	fmt.Printf("\nsp  = 0x%08x  lr = 0x%08x  pc = 0x%08x\n",
+		cpu.R[armv6m.SP], cpu.R[armv6m.LR], cpu.R[armv6m.PC])
+
+	if *dumpAddr != "" {
+		addr, err := parseAddr(*dumpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("memory at 0x%08x:", addr)
+		for i := 0; i < *dumpLen; i++ {
+			v, err := cpu.Bus.Read8(addr + uint32(i))
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf(" %02x", v)
+		}
+		fmt.Println()
+	}
+}
+
+func parseAddr(s string) (uint32, error) {
+	v, err := strconv.ParseUint(s, 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad address %q: %v", s, err)
+	}
+	return uint32(v), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "m0run:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,117 @@
+// Command neuroc-bench regenerates every table and figure of the
+// paper's evaluation on the emulated Cortex-M0.
+//
+// Usage:
+//
+//	neuroc-bench -exp all            # everything (paper-scale, slow)
+//	neuroc-bench -exp fig5 -quick    # one experiment, reduced scale
+//	neuroc-bench -list               # show available experiments
+//
+// Output is the ASCII-table form of each figure, with the paper's
+// headline numbers quoted in each table's trailing note so measured and
+// published values can be compared side by side.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/neuro-c/neuroc/internal/bench"
+	"github.com/neuro-c/neuroc/internal/report"
+)
+
+var experiments = []struct {
+	name string
+	desc string
+	run  func(r *bench.Runner, w io.Writer)
+}{
+	{"table1", "qualitative MCU class table", func(r *bench.Runner, w io.Writer) {
+		r.Table1().Fprint(w)
+	}},
+	{"fig1", "adjacency strategies on digits", func(r *bench.Runner, w io.Writer) {
+		r.Fig1().Fprint(w)
+	}},
+	{"fig2", "FC vs conv latency at equal MACCs", func(r *bench.Runner, w io.Writer) {
+		r.Fig2().Fprint(w)
+	}},
+	{"fig3", "encoding layouts on a toy matrix", func(r *bench.Runner, w io.Writer) {
+		r.Fig3().Fprint(w)
+	}},
+	{"fig5", "encoding latency and flash sweep", func(r *bench.Runner, w io.Writer) {
+		a, b := r.Fig5()
+		a.Fprint(w)
+		b.Fprint(w)
+	}},
+	{"fig6", "MNIST: MLP sweep vs Neuro-C scales", func(r *bench.Runner, w io.Writer) {
+		for _, t := range r.Fig6() {
+			t.Fprint(w)
+		}
+	}},
+	{"fig7", "best deployable models on all datasets", func(r *bench.Runner, w io.Writer) {
+		r.Fig7().Fprint(w)
+	}},
+	{"fig8", "TNN ablation (remove per-neuron scale)", func(r *bench.Runner, w io.Writer) {
+		r.Fig8().Fprint(w)
+	}},
+	{"ablations", "design-choice ablations (ReLU form, multiplier, wait states)", func(r *bench.Runner, w io.Writer) {
+		for _, t := range r.Ablations() {
+			t.Fprint(w)
+		}
+	}},
+	{"interrupts", "inference latency under sensor-interrupt preemption", func(r *bench.Runner, w io.Writer) {
+		r.Interrupts().Fprint(w)
+	}},
+	{"cores", "same image on Cortex-M0 vs Cortex-M0+ profiles", func(r *bench.Runner, w io.Writer) {
+		r.Cores().Fprint(w)
+	}},
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (see -list), or 'all'")
+	quick := flag.Bool("quick", false, "reduced datasets and sweeps (CI-sized)")
+	verbose := flag.Bool("v", false, "log per-model progress to stderr")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-8s %s\n", e.name, e.desc)
+		}
+		return
+	}
+
+	cfg := bench.Config{Quick: *quick, Seed: *seed}
+	if *verbose {
+		cfg.Log = os.Stderr
+	}
+	r := bench.New(cfg)
+
+	_ = report.Table{} // keep report in the import graph for doc links
+
+	want := strings.Split(*exp, ",")
+	ran := 0
+	for _, e := range experiments {
+		if *exp != "all" && !contains(want, e.name) {
+			continue
+		}
+		e.run(r, os.Stdout)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "neuroc-bench: unknown experiment %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if strings.TrimSpace(x) == s {
+			return true
+		}
+	}
+	return false
+}

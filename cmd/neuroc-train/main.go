@@ -1,0 +1,164 @@
+// Command neuroc-train trains a model (Neuro-C, TNN, or MLP) on one of
+// the built-in datasets, quantizes it, deploys it onto the emulated
+// Cortex-M0, reports accuracy/latency/footprint, and optionally writes
+// the flash image to disk for cmd/m0run.
+//
+//	neuroc-train -dataset mnist -arch neuroc -hidden 64 -epochs 10 -o model.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/neuro-c/neuroc"
+)
+
+func main() {
+	dsName := flag.String("dataset", "digits", "dataset: digits, mnist, fashion, cifar5")
+	archName := flag.String("arch", "neuroc", "architecture: neuroc, tnn, mlp")
+	hidden := flag.String("hidden", "64", "comma-separated hidden layer widths")
+	epochs := flag.Int("epochs", 15, "training epochs")
+	sparsity := flag.Float64("sparsity", 0, "ternarization threshold factor (0 = default 0.7; larger = sparser)")
+	encName := flag.String("encoding", "block", "adjacency encoding: block, csc, delta, mixed")
+	seed := flag.Uint64("seed", 1, "random seed")
+	out := flag.String("o", "", "write the flash image to this file")
+	saveModel := flag.String("save-model", "", "write the quantized model (NCQ1 format) to this file")
+	verbose := flag.Bool("v", false, "log per-epoch training progress")
+	listing := flag.Bool("listing", false, "print a disassembly of the generated inference code")
+	flag.Parse()
+
+	ds, err := pickDataset(*dsName)
+	if err != nil {
+		fatal(err)
+	}
+	arch, err := pickArch(*archName)
+	if err != nil {
+		fatal(err)
+	}
+	enc, err := pickEncoding(*encName)
+	if err != nil {
+		fatal(err)
+	}
+	widths, err := parseWidths(*hidden)
+	if err != nil {
+		fatal(err)
+	}
+
+	m := neuroc.NewModel(neuroc.ModelSpec{
+		InputDim: ds.Dim(), NumClasses: ds.NumClasses,
+		Hidden: widths, Arch: arch,
+		Strategy: neuroc.StrategyLearned, Sparsity: *sparsity,
+		Seed: *seed,
+	})
+	opts := neuroc.TrainOptions{Epochs: *epochs}
+	if *verbose {
+		opts.Log = os.Stderr
+	}
+	fmt.Printf("training %s on %s (%d params)...\n", arch, ds.Name, m.NumParams())
+	rep := m.Train(ds, opts)
+	fmt.Printf("float accuracy: train %.4f test %.4f (loss %.4f)\n",
+		rep.TrainAccuracy, rep.TestAccuracy, rep.FinalLoss)
+
+	dep, err := m.Deploy(ds, enc)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("quantized accuracy: %.4f\n", dep.Accuracy(ds))
+	ms, cycles, err := dep.MeasureLatency(ds, 10)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("device latency: %.2f ms (%d cycles @ 8 MHz)\n", ms, cycles)
+	fmt.Printf("program memory: %d bytes (%d code + %d tables), encoding %s\n",
+		dep.ProgramBytes(), dep.CodeBytes(), dep.DataBytes(), enc)
+
+	if *listing {
+		fmt.Print(dep.Img.Listing())
+	}
+	if *saveModel != "" {
+		f, err := os.Create(*saveModel)
+		if err != nil {
+			fatal(err)
+		}
+		if err := dep.SaveModel(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("quantized model written to %s\n", *saveModel)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, dep.Img.Prog.Code, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("flash image written to %s (input buffer 0x%08x dim %d, output 0x%08x dim %d)\n",
+			*out, dep.Img.InAddr, dep.Img.InDim, dep.Img.OutAddr, dep.Img.OutDim)
+	}
+}
+
+func pickDataset(name string) (*neuroc.Dataset, error) {
+	switch name {
+	case "digits":
+		return neuroc.Digits(), nil
+	case "mnist":
+		return neuroc.MNIST(), nil
+	case "fashion":
+		return neuroc.FashionMNIST(), nil
+	case "cifar5":
+		return neuroc.CIFAR5(), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", name)
+	}
+}
+
+func pickArch(name string) (neuroc.Arch, error) {
+	switch name {
+	case "neuroc":
+		return neuroc.ArchNeuroC, nil
+	case "tnn":
+		return neuroc.ArchTNN, nil
+	case "mlp":
+		return neuroc.ArchMLP, nil
+	default:
+		return 0, fmt.Errorf("unknown architecture %q", name)
+	}
+}
+
+func pickEncoding(name string) (neuroc.Encoding, error) {
+	switch name {
+	case "block":
+		return neuroc.EncodingBlock, nil
+	case "csc":
+		return neuroc.EncodingCSC, nil
+	case "delta":
+		return neuroc.EncodingDelta, nil
+	case "mixed":
+		return neuroc.EncodingMixed, nil
+	default:
+		return 0, fmt.Errorf("unknown encoding %q", name)
+	}
+}
+
+func parseWidths(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad hidden width %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "neuroc-train:", err)
+	os.Exit(1)
+}

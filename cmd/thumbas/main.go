@@ -1,0 +1,99 @@
+// Command thumbas assembles an ARMv6-M Thumb-1 source file into a raw
+// binary, standalone use of the internal/thumb assembler.
+//
+//	thumbas -base 0x08000000 -o out.bin kernel.s
+//	thumbas -symbols kernel.s          # print the symbol table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"github.com/neuro-c/neuroc/internal/armv6m"
+	"github.com/neuro-c/neuroc/internal/thumb"
+)
+
+func main() {
+	base := flag.String("base", "0x08000000", "load address of the first byte")
+	out := flag.String("o", "", "output binary (default: stdout hex dump)")
+	symbols := flag.Bool("symbols", false, "print the symbol table")
+	listing := flag.Bool("d", false, "print a disassembly listing")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: thumbas [-base addr] [-o out.bin] [-symbols] input.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	baseAddr, err := strconv.ParseUint(*base, 0, 32)
+	if err != nil {
+		fatal(fmt.Errorf("bad base address %q: %v", *base, err))
+	}
+	prog, err := thumb.Assemble(string(src), uint32(baseAddr))
+	if err != nil {
+		fatal(fmt.Errorf("%s: %v", flag.Arg(0), err))
+	}
+
+	if *symbols {
+		for _, name := range prog.SymbolsSorted() {
+			fmt.Printf("0x%08x %s\n", prog.Symbols[name], name)
+		}
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, prog.Code, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: %d bytes\n", *out, len(prog.Code))
+		return
+	}
+	if *listing {
+		for off := 0; off < len(prog.Code); {
+			op := uint16(prog.Code[off])
+			if off+1 < len(prog.Code) {
+				op |= uint16(prog.Code[off+1]) << 8
+			}
+			var lo uint16
+			if off+4 <= len(prog.Code) {
+				lo = uint16(prog.Code[off+2]) | uint16(prog.Code[off+3])<<8
+			}
+			text, size := armv6m.Disassemble(uint32(baseAddr)+uint32(off), op, lo)
+			fmt.Printf("%08x: %-12s %s\n", uint32(baseAddr)+uint32(off), hexBytes(prog.Code[off:off+size]), text)
+			off += size
+		}
+		return
+	}
+	if !*symbols {
+		for i := 0; i < len(prog.Code); i += 16 {
+			end := i + 16
+			if end > len(prog.Code) {
+				end = len(prog.Code)
+			}
+			fmt.Printf("%08x:", uint32(baseAddr)+uint32(i))
+			for _, b := range prog.Code[i:end] {
+				fmt.Printf(" %02x", b)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func hexBytes(b []byte) string {
+	out := ""
+	for i, v := range b {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%02x", v)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "thumbas:", err)
+	os.Exit(1)
+}

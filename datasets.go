@@ -1,0 +1,79 @@
+package neuroc
+
+import (
+	"fmt"
+
+	"github.com/neuro-c/neuroc/internal/dataset"
+	"github.com/neuro-c/neuroc/internal/tensor"
+)
+
+// Dataset re-exports the dataset type used across the API.
+type Dataset = dataset.Dataset
+
+// Digits generates the 8×8 digits stand-in (Fig. 1's workload).
+func Digits() *Dataset { return dataset.Generate(dataset.Digits()) }
+
+// MNIST generates the 28×28 MNIST stand-in.
+func MNIST() *Dataset { return dataset.Generate(dataset.MNIST()) }
+
+// FashionMNIST generates the harder 28×28 Fashion stand-in.
+func FashionMNIST() *Dataset { return dataset.Generate(dataset.FashionMNIST()) }
+
+// CIFAR5 generates the 32×32×3 five-class CIFAR stand-in.
+func CIFAR5() *Dataset { return dataset.Generate(dataset.CIFAR5()) }
+
+// LoadIDXDataset loads real MNIST/FashionMNIST files from dir (see
+// internal/dataset.LoadIDX for the expected file names).
+func LoadIDXDataset(dir, name string, numClasses int) (*Dataset, error) {
+	return dataset.LoadIDX(dir, name, numClasses)
+}
+
+// LoadCIFAR5Dataset loads the real CIFAR-10 binary batches restricted
+// to the first five classes.
+func LoadCIFAR5Dataset(dir string) (*Dataset, error) {
+	return dataset.LoadCIFAR5(dir)
+}
+
+// NewDataset builds a Dataset from raw float32 feature vectors (values
+// in [0,1]), for custom workloads such as sensor windows. Width is the
+// feature dimension (stored as a 1×Width×1 "image"); rows of train and
+// test are per-sample feature vectors.
+func NewDataset(name string, numClasses int, train [][]float32, trainY []int, test [][]float32, testY []int) (*Dataset, error) {
+	if len(train) == 0 || len(test) == 0 {
+		return nil, fmt.Errorf("neuroc: NewDataset needs non-empty splits")
+	}
+	dim := len(train[0])
+	toMat := func(rows [][]float32) (*tensor.Mat, error) {
+		m := tensor.NewMat(len(rows), dim)
+		for i, r := range rows {
+			if len(r) != dim {
+				return nil, fmt.Errorf("neuroc: row %d has %d features, want %d", i, len(r), dim)
+			}
+			copy(m.Row(i), r)
+		}
+		return m, nil
+	}
+	trainX, err := toMat(train)
+	if err != nil {
+		return nil, err
+	}
+	testX, err := toMat(test)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dataset{
+		Name: name, NumClasses: numClasses,
+		Width: dim, Height: 1, Channels: 1,
+		TrainX: trainX, TrainY: trainY, TestX: testX, TestY: testY,
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// LoadOptdigitsDataset loads the real UCI optdigits files (the source
+// of scikit-learn's digits set).
+func LoadOptdigitsDataset(dir string) (*Dataset, error) {
+	return dataset.LoadOptdigits(dir)
+}

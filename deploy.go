@@ -1,0 +1,161 @@
+package neuroc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/neuro-c/neuroc/internal/device"
+	"github.com/neuro-c/neuroc/internal/modelimg"
+	"github.com/neuro-c/neuroc/internal/quant"
+	"github.com/neuro-c/neuroc/internal/tensor"
+)
+
+// Deployment is a quantized model loaded on the emulated Cortex-M0.
+type Deployment struct {
+	QModel *quant.Model
+	Img    *modelimg.Image
+	Dev    *device.Device
+}
+
+// ErrNotDeployable reports a model that exceeds the device's flash or
+// SRAM, the paper's non-deployable condition (Fig. 6a's red line).
+var ErrNotDeployable = errors.New("neuroc: model not deployable on the target device")
+
+// Deploy quantizes the trained model (calibrating on the training
+// split) and builds + loads the flash image with the chosen encoding.
+func (m *Model) Deploy(ds *Dataset, enc Encoding) (*Deployment, error) {
+	calib := ds.TrainX
+	if calib.Rows > 512 {
+		calib = tensor.FromSlice(512, calib.Cols, calib.Data[:512*calib.Cols])
+	}
+	qm, err := quant.FromNetwork(m.Net, calib, 0)
+	if err != nil {
+		return nil, fmt.Errorf("neuroc: quantize: %w", err)
+	}
+	img, err := modelimg.Build(qm, enc)
+	if err != nil {
+		var nd *modelimg.ErrNotDeployable
+		if errors.As(err, &nd) {
+			return nil, fmt.Errorf("%w: %v", ErrNotDeployable, err)
+		}
+		return nil, err
+	}
+	dev, err := device.New(img)
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{QModel: qm, Img: img, Dev: dev}, nil
+}
+
+// QuantizedSizeBytes estimates the flash footprint without building the
+// image: weight/structure tables only. Use ProgramBytes on a real
+// Deployment for the paper's metric.
+func (d *Deployment) QuantizedSizeBytes() int {
+	total := 0
+	for _, l := range d.QModel.Layers {
+		total += l.NumWeightBytes()
+	}
+	return total
+}
+
+// ProgramBytes is the program-memory footprint (flash image size):
+// inference code plus all model tables, the paper's memory metric.
+func (d *Deployment) ProgramBytes() int { return d.Img.TotalBytes() }
+
+// CodeBytes and DataBytes split the footprint into code and tables.
+func (d *Deployment) CodeBytes() int { return d.Img.CodeBytes }
+
+// DataBytes is the descriptor/weight-table portion of the image.
+func (d *Deployment) DataBytes() int { return d.Img.DataBytes }
+
+// MeasureLatency runs runs inferences on the device over inputs drawn
+// from the test split and returns the mean latency in milliseconds and
+// the mean cycle count, mirroring the paper's 100-run TIM2 averaging.
+func (d *Deployment) MeasureLatency(ds *Dataset, runs int) (ms float64, cycles uint64, err error) {
+	if runs <= 0 {
+		runs = 10
+	}
+	var total uint64
+	for i := 0; i < runs; i++ {
+		row := ds.TestX.Row(i % ds.TestX.Rows)
+		res, err := d.Dev.Run(d.QModel.QuantizeInput(row))
+		if err != nil {
+			return 0, 0, err
+		}
+		total += res.Cycles
+	}
+	mean := total / uint64(runs)
+	return device.CyclesToMS(mean), mean, nil
+}
+
+// Accuracy evaluates the quantized model on the test split. The
+// bit-exact host reference is used (the device agrees bit-for-bit; see
+// the differential tests), so full-test-set evaluation stays fast.
+func (d *Deployment) Accuracy(ds *Dataset) float64 {
+	return d.QModel.Accuracy(ds.TestX, ds.TestY)
+}
+
+// DeviceAccuracy evaluates accuracy by running every one of n test
+// samples on the emulated device itself (slower; n <= 0 uses the whole
+// test split).
+func (d *Deployment) DeviceAccuracy(ds *Dataset, n int) (float64, error) {
+	if n <= 0 || n > ds.TestX.Rows {
+		n = ds.TestX.Rows
+	}
+	correct := 0
+	for i := 0; i < n; i++ {
+		pred, _, err := d.Dev.Predict(d.QModel.QuantizeInput(ds.TestX.Row(i)))
+		if err != nil {
+			return 0, err
+		}
+		if pred == ds.TestY[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n), nil
+}
+
+// DeployWithoutScale deploys the already-quantized model with the
+// per-neuron scale w_j stripped (identical adjacency and structure) —
+// the paper's Sec. 5.2 procedure for measuring the latency and memory
+// cost attributable to w_j alone.
+func (d *Deployment) DeployWithoutScale(enc Encoding) (*Deployment, error) {
+	qm := quant.StripPerNeuron(d.QModel)
+	img, err := modelimg.Build(qm, enc)
+	if err != nil {
+		return nil, err
+	}
+	dev, err := device.New(img)
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{QModel: qm, Img: img, Dev: dev}, nil
+}
+
+// SaveModel writes the quantized model in the portable NCQ1 binary
+// format, so a trained deployment can be reloaded (LoadDeployment)
+// without retraining.
+func (d *Deployment) SaveModel(w io.Writer) error { return d.QModel.Save(w) }
+
+// LoadDeployment reads an NCQ1 quantized model and deploys it onto a
+// fresh emulated device with the given encoding.
+func LoadDeployment(r io.Reader, enc Encoding) (*Deployment, error) {
+	qm, err := quant.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	img, err := modelimg.Build(qm, enc)
+	if err != nil {
+		var nd *modelimg.ErrNotDeployable
+		if errors.As(err, &nd) {
+			return nil, fmt.Errorf("%w: %v", ErrNotDeployable, err)
+		}
+		return nil, err
+	}
+	dev, err := device.New(img)
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{QModel: qm, Img: img, Dev: dev}, nil
+}

@@ -1,0 +1,73 @@
+// MNIST comparison: train a Neuro-C model and a conventional MLP of
+// comparable accuracy on the MNIST stand-in (or real MNIST via -idx),
+// deploy both, and compare latency and program memory — the paper's
+// headline experiment (Fig. 6) at a single operating point.
+//
+//	go run ./examples/mnist                 # synthetic stand-in
+//	go run ./examples/mnist -idx /data/mnist  # real IDX files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/neuro-c/neuroc"
+)
+
+func main() {
+	idxDir := flag.String("idx", "", "directory with real MNIST IDX files (optional)")
+	epochs := flag.Int("epochs", 20, "training epochs")
+	flag.Parse()
+
+	var ds *neuroc.Dataset
+	if *idxDir != "" {
+		var err error
+		ds, err = neuroc.LoadIDXDataset(*idxDir, "mnist", 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		ds = neuroc.MNIST()
+	}
+	fmt.Printf("dataset %s: %d train / %d test\n", ds.Name, ds.TrainX.Rows, ds.TestX.Rows)
+
+	run := func(name string, spec neuroc.ModelSpec, epochs int) *neuroc.Deployment {
+		m := neuroc.NewModel(spec)
+		fmt.Printf("\n[%s] training (%d float params)...\n", name, m.NumParams())
+		rep := m.Train(ds, neuroc.TrainOptions{Epochs: epochs, Log: os.Stderr})
+		dep, err := m.Deploy(ds, neuroc.EncodingBlock)
+		if err != nil {
+			fmt.Printf("[%s] accuracy %.2f%% — NOT DEPLOYABLE: %v\n", name, rep.TestAccuracy*100, err)
+			return nil
+		}
+		ms, _, err := dep.MeasureLatency(ds, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("[%s] accuracy %.2f%% (int8 %.2f%%), latency %.2f ms, flash %.1f KB\n",
+			name, rep.TestAccuracy*100, dep.Accuracy(ds)*100, ms,
+			float64(dep.ProgramBytes())/1024)
+		return dep
+	}
+
+	nc := run("neuroc", neuroc.ModelSpec{
+		InputDim: ds.Dim(), NumClasses: ds.NumClasses,
+		Hidden: []int{256, 96}, Arch: neuroc.ArchNeuroC,
+		Strategy: neuroc.StrategyLearned, Sparsity: 1.8, Seed: 1,
+	}, *epochs+10)
+
+	mlp := run("mlp", neuroc.ModelSpec{
+		InputDim: ds.Dim(), NumClasses: ds.NumClasses,
+		Hidden: []int{128, 64}, Arch: neuroc.ArchMLP, Seed: 1,
+	}, *epochs)
+
+	if nc != nil && mlp != nil {
+		ncMS, _, _ := nc.MeasureLatency(ds, 10)
+		mlpMS, _, _ := mlp.MeasureLatency(ds, 10)
+		fmt.Printf("\nNeuro-C vs MLP: %.0f%% lower latency, %.0f%% less program memory\n",
+			(1-ncMS/mlpMS)*100,
+			(1-float64(nc.ProgramBytes())/float64(mlp.ProgramBytes()))*100)
+	}
+}

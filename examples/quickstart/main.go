@@ -1,0 +1,55 @@
+// Quickstart: train a Neuro-C model on the digits dataset, quantize it,
+// deploy it onto the emulated Cortex-M0, and measure accuracy, latency,
+// and program-memory footprint — the paper's full pipeline in ~40 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/neuro-c/neuroc"
+)
+
+func main() {
+	ds := neuroc.Digits()
+	fmt.Printf("dataset %s: %d train / %d test samples, %d classes, %d features\n",
+		ds.Name, ds.TrainX.Rows, ds.TestX.Rows, ds.NumClasses, ds.Dim())
+
+	m := neuroc.NewModel(neuroc.ModelSpec{
+		InputDim:   ds.Dim(),
+		NumClasses: ds.NumClasses,
+		Hidden:     []int{64},
+		Arch:       neuroc.ArchNeuroC,
+		Strategy:   neuroc.StrategyLearned,
+		Seed:       1,
+	})
+	fmt.Printf("training Neuro-C (%d float params)...\n", m.NumParams())
+	rep := m.Train(ds, neuroc.TrainOptions{Epochs: 60})
+	fmt.Printf("float accuracy: %.1f%%\n", rep.TestAccuracy*100)
+	fmt.Printf("effective deployed parameters (neurons + connections): %d\n",
+		m.EffectiveParams())
+
+	// Deploy with the paper's block encoding onto the emulated
+	// STM32F072 (Cortex-M0 @ 8 MHz, 128 KB flash, 16 KB RAM).
+	dep, err := m.Deploy(ds, neuroc.EncodingBlock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("quantized int8 accuracy: %.1f%%\n", dep.Accuracy(ds)*100)
+
+	ms, cycles, err := dep.MeasureLatency(ds, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("on-device latency: %.2f ms per inference (%d cycles @ 8 MHz)\n", ms, cycles)
+	fmt.Printf("program memory:    %.1f KB (%d B code + %d B tables)\n",
+		float64(dep.ProgramBytes())/1024, dep.CodeBytes(), dep.DataBytes())
+
+	// Run one inference end to end on the emulated device.
+	pred, res, err := dep.Dev.Predict(dep.QModel.QuantizeInput(ds.TestX.Row(0)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sample 0: predicted class %d (true %d) in %d cycles\n",
+		pred, ds.TestY[0], res.Cycles)
+}

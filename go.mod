@@ -1,0 +1,3 @@
+module github.com/neuro-c/neuroc
+
+go 1.22

@@ -1,0 +1,738 @@
+package armv6m_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/neuro-c/neuroc/internal/armv6m"
+	"github.com/neuro-c/neuroc/internal/thumb"
+)
+
+// codeBase leaves room for the 2-entry vector table at the flash base.
+const codeBase = armv6m.FlashBase + 0x10
+
+// boot assembles src, builds a minimal flash image (vector table + code),
+// and returns a CPU that has been reset and is ready to run.
+func boot(t *testing.T, src string) (*armv6m.CPU, *thumb.Program) {
+	t.Helper()
+	prog, err := thumb.Assemble(src, codeBase)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	cpu := armv6m.New()
+	vec := make([]byte, 16)
+	sp := uint32(armv6m.SRAMBase + armv6m.SRAMSize)
+	entry := prog.Base | 1
+	put32 := func(off int, v uint32) {
+		vec[off] = byte(v)
+		vec[off+1] = byte(v >> 8)
+		vec[off+2] = byte(v >> 16)
+		vec[off+3] = byte(v >> 24)
+	}
+	put32(0, sp)
+	put32(4, entry)
+	cpu.Bus.LoadFlash(0, vec)
+	cpu.Bus.LoadFlash(int(prog.Base-armv6m.FlashBase), prog.Code)
+	if err := cpu.Reset(); err != nil {
+		t.Fatalf("reset: %v", err)
+	}
+	return cpu, prog
+}
+
+// run boots src and executes until BKPT, failing the test on faults.
+func run(t *testing.T, src string) *armv6m.CPU {
+	t.Helper()
+	cpu, _ := boot(t, src)
+	if err := cpu.Run(10_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return cpu
+}
+
+func TestResetLoadsVectorTable(t *testing.T) {
+	cpu, prog := boot(t, "bkpt #0\n")
+	if got, want := cpu.R[armv6m.SP], uint32(armv6m.SRAMBase+armv6m.SRAMSize); got != want {
+		t.Errorf("SP = 0x%08x, want 0x%08x", got, want)
+	}
+	if got := cpu.R[armv6m.PC]; got != prog.Base {
+		t.Errorf("PC = 0x%08x, want 0x%08x", got, prog.Base)
+	}
+}
+
+func TestMovAddSub(t *testing.T) {
+	cpu := run(t, `
+		movs r0, #100
+		movs r1, #23
+		adds r2, r0, r1
+		subs r3, r0, r1
+		adds r2, #5
+		subs r3, #7
+		bkpt #0
+	`)
+	if cpu.R[2] != 128 {
+		t.Errorf("r2 = %d, want 128", cpu.R[2])
+	}
+	if cpu.R[3] != 70 {
+		t.Errorf("r3 = %d, want 70", cpu.R[3])
+	}
+}
+
+func TestFlagsAddCarryOverflow(t *testing.T) {
+	// 0x7fffffff + 1 -> overflow set, carry clear, negative set.
+	cpu := run(t, `
+		ldr r0, =0x7fffffff
+		movs r1, #1
+		adds r0, r0, r1
+		bkpt #0
+	`)
+	if !cpu.V || cpu.C || !cpu.N || cpu.Z {
+		t.Errorf("flags NZCV = %v %v %v %v, want N=1 Z=0 C=0 V=1", cpu.N, cpu.Z, cpu.C, cpu.V)
+	}
+
+	// 0xffffffff + 1 -> carry set, zero set, no overflow.
+	cpu = run(t, `
+		ldr r0, =0xffffffff
+		movs r1, #1
+		adds r0, r0, r1
+		bkpt #0
+	`)
+	if cpu.V || !cpu.C || cpu.N || !cpu.Z {
+		t.Errorf("flags NZCV = %v %v %v %v, want N=0 Z=1 C=1 V=0", cpu.N, cpu.Z, cpu.C, cpu.V)
+	}
+}
+
+func TestFlagsSubBorrow(t *testing.T) {
+	// 5 - 10: borrow (C clear on ARM), negative.
+	cpu := run(t, `
+		movs r0, #5
+		movs r1, #10
+		subs r0, r0, r1
+		bkpt #0
+	`)
+	if cpu.C || !cpu.N {
+		t.Errorf("5-10: C=%v N=%v, want C=0 N=1", cpu.C, cpu.N)
+	}
+	if int32(cpu.R[0]) != -5 {
+		t.Errorf("5-10 = %d, want -5", int32(cpu.R[0]))
+	}
+
+	// 10 - 5: no borrow (C set).
+	cpu = run(t, `
+		movs r0, #10
+		movs r1, #5
+		subs r0, r0, r1
+		bkpt #0
+	`)
+	if !cpu.C || cpu.N || cpu.Z {
+		t.Errorf("10-5: C=%v N=%v Z=%v, want C=1 N=0 Z=0", cpu.C, cpu.N, cpu.Z)
+	}
+}
+
+func TestAdcsSbcs(t *testing.T) {
+	// 64-bit add: 0xffffffff_00000001 + 0x00000001_00000002.
+	cpu := run(t, `
+		movs r0, #1          @ low a
+		ldr r1, =0xffffffff  @ high a
+		movs r2, #2          @ low b
+		movs r3, #1          @ high b
+		adds r0, r0, r2
+		adcs r1, r3
+		bkpt #0
+	`)
+	if cpu.R[0] != 3 || cpu.R[1] != 0 {
+		t.Errorf("64-bit add = %08x_%08x, want 00000000_00000003", cpu.R[1], cpu.R[0])
+	}
+	if !cpu.C {
+		t.Error("expected final carry out of the high word")
+	}
+}
+
+func TestShiftsImmediate(t *testing.T) {
+	cases := []struct {
+		src  string
+		want uint32
+		c    bool
+	}{
+		{"movs r0, #1\nlsls r0, r0, #31\nbkpt #0", 0x8000_0000, false},
+		{"movs r0, #3\nlsls r0, r0, #31\nbkpt #0", 0x8000_0000, true},
+		{"movs r0, #255\nlsrs r0, r0, #4\nbkpt #0", 15, true},
+		{"ldr r0, =0x80000000\nasrs r0, r0, #4\nbkpt #0", 0xf800_0000, false},
+		{"ldr r0, =0x80000001\nlsrs r0, r0, #1\nbkpt #0", 0x4000_0000, true},
+	}
+	for _, tc := range cases {
+		cpu := run(t, tc.src)
+		if cpu.R[0] != tc.want {
+			t.Errorf("%q: r0 = 0x%08x, want 0x%08x", tc.src, cpu.R[0], tc.want)
+		}
+		if cpu.C != tc.c {
+			t.Errorf("%q: C = %v, want %v", tc.src, cpu.C, tc.c)
+		}
+	}
+}
+
+func TestShiftByRegister(t *testing.T) {
+	cpu := run(t, `
+		movs r0, #1
+		movs r1, #32
+		lsls r0, r1        @ shift by 32: result 0, C = old bit 0
+		movs r2, #1
+		movs r3, #33
+		lsls r2, r3        @ shift by 33: result 0, C = 0
+		ldr r4, =0x80000000
+		movs r5, #40
+		asrs r4, r5        @ asr >= 32: sign fill
+		bkpt #0
+	`)
+	if cpu.R[0] != 0 {
+		t.Errorf("lsl #32: r0 = %d, want 0", cpu.R[0])
+	}
+	if cpu.R[2] != 0 {
+		t.Errorf("lsl #33: r2 = %d, want 0", cpu.R[2])
+	}
+	if cpu.R[4] != 0xffff_ffff {
+		t.Errorf("asr #40 of 0x80000000: r4 = 0x%08x, want 0xffffffff", cpu.R[4])
+	}
+}
+
+func TestMulsAndLogic(t *testing.T) {
+	cpu := run(t, `
+		movs r0, #7
+		movs r1, #6
+		muls r0, r1, r0
+		movs r2, #0xf0
+		movs r3, #0x3c
+		ands r2, r3
+		movs r4, #0xf0
+		movs r5, #0x0f
+		orrs r4, r5
+		movs r6, #0xff
+		mvns r6, r6
+		bkpt #0
+	`)
+	if cpu.R[0] != 42 {
+		t.Errorf("7*6 = %d, want 42", cpu.R[0])
+	}
+	if cpu.R[2] != 0x30 {
+		t.Errorf("0xf0 & 0x3c = 0x%x, want 0x30", cpu.R[2])
+	}
+	if cpu.R[4] != 0xff {
+		t.Errorf("0xf0 | 0x0f = 0x%x, want 0xff", cpu.R[4])
+	}
+	if cpu.R[6] != 0xffff_ff00 {
+		t.Errorf("~0xff = 0x%08x, want 0xffffff00", cpu.R[6])
+	}
+}
+
+func TestBicsBranchlessReLU(t *testing.T) {
+	// The branchless ReLU idiom from the kernels: mask = x >> 31 (asrs),
+	// x = x BIC mask.
+	for _, tc := range []struct {
+		in   int32
+		want int32
+	}{{5, 5}, {-5, 0}, {0, 0}, {-1 << 31, 0}, {1<<31 - 1, 1<<31 - 1}} {
+		cpu := run(t, `
+			ldr r0, =`+itoa(tc.in)+`
+			mov r1, r0
+			asrs r1, r1, #31
+			bics r0, r1
+			bkpt #0
+		`)
+		if int32(cpu.R[0]) != tc.want {
+			t.Errorf("relu(%d) = %d, want %d", tc.in, int32(cpu.R[0]), tc.want)
+		}
+	}
+}
+
+func itoa(v int32) string { return strconv.FormatInt(int64(v), 10) }
+
+func TestLoadStoreWidths(t *testing.T) {
+	cpu := run(t, `
+		ldr r0, =0x20000000
+		ldr r1, =0x12345678
+		str r1, [r0]
+		ldrb r2, [r0]        @ 0x78
+		ldrh r3, [r0]        @ 0x5678
+		movs r4, #2
+		ldrb r5, [r0, r4]    @ 0x34
+		movs r6, #0x80
+		strb r6, [r0, #1]
+		ldrsb r7, [r0, r4]   @ still 0x34 (positive)
+		bkpt #0
+	`)
+	if cpu.R[2] != 0x78 {
+		t.Errorf("ldrb = 0x%x, want 0x78", cpu.R[2])
+	}
+	if cpu.R[3] != 0x5678 {
+		t.Errorf("ldrh = 0x%x, want 0x5678", cpu.R[3])
+	}
+	if cpu.R[5] != 0x34 {
+		t.Errorf("ldrb [r0, r4] = 0x%x, want 0x34", cpu.R[5])
+	}
+	if cpu.R[7] != 0x34 {
+		t.Errorf("ldrsb = 0x%x, want 0x34", cpu.R[7])
+	}
+}
+
+func TestSignExtendingLoads(t *testing.T) {
+	cpu := run(t, `
+		ldr r0, =0x20000000
+		ldr r1, =0x8081f2f3
+		str r1, [r0]
+		movs r2, #0
+		ldrsb r3, [r0, r2]   @ 0xf3 -> -13
+		ldrsh r4, [r0, r2]   @ 0xf2f3 -> -3341
+		movs r2, #3
+		ldrsb r5, [r0, r2]   @ 0x80 -> -128
+		bkpt #0
+	`)
+	if int32(cpu.R[3]) != -13 {
+		t.Errorf("ldrsb = %d, want -13", int32(cpu.R[3]))
+	}
+	if int32(cpu.R[4]) != -3341 {
+		t.Errorf("ldrsh = %d, want -3341", int32(cpu.R[4]))
+	}
+	if int32(cpu.R[5]) != -128 {
+		t.Errorf("ldrsb high = %d, want -128", int32(cpu.R[5]))
+	}
+}
+
+func TestExtendInstructions(t *testing.T) {
+	cpu := run(t, `
+		ldr r0, =0x0000f2f3
+		sxtb r1, r0
+		sxth r2, r0
+		uxtb r3, r0
+		uxth r4, r0
+		bkpt #0
+	`)
+	if int32(cpu.R[1]) != -13 || int32(cpu.R[2]) != -3341 ||
+		cpu.R[3] != 0xf3 || cpu.R[4] != 0xf2f3 {
+		t.Errorf("extends = %d %d 0x%x 0x%x", int32(cpu.R[1]), int32(cpu.R[2]), cpu.R[3], cpu.R[4])
+	}
+}
+
+func TestPushPopAndCall(t *testing.T) {
+	cpu := run(t, `
+		movs r0, #5
+		bl double
+		bl double
+		bkpt #0
+	double:
+		push {r4, lr}
+		movs r4, #2
+		muls r0, r4, r0
+		pop {r4, pc}
+	`)
+	if cpu.R[0] != 20 {
+		t.Errorf("double(double(5)) = %d, want 20", cpu.R[0])
+	}
+	if got, want := cpu.R[armv6m.SP], uint32(armv6m.SRAMBase+armv6m.SRAMSize); got != want {
+		t.Errorf("SP not restored: 0x%08x, want 0x%08x", got, want)
+	}
+}
+
+func TestLdmStm(t *testing.T) {
+	cpu := run(t, `
+		ldr r0, =0x20000100
+		movs r1, #11
+		movs r2, #22
+		movs r3, #33
+		stmia r0!, {r1-r3}
+		ldr r4, =0x20000100
+		ldmia r4!, {r5-r7}
+		bkpt #0
+	`)
+	if cpu.R[5] != 11 || cpu.R[6] != 22 || cpu.R[7] != 33 {
+		t.Errorf("ldm = %d %d %d, want 11 22 33", cpu.R[5], cpu.R[6], cpu.R[7])
+	}
+	if cpu.R[0] != 0x2000010c || cpu.R[4] != 0x2000010c {
+		t.Errorf("writeback = 0x%08x 0x%08x, want 0x2000010c", cpu.R[0], cpu.R[4])
+	}
+}
+
+func TestConditionalBranches(t *testing.T) {
+	// Count down from 10, summing: 10+9+...+1 = 55.
+	cpu := run(t, `
+		movs r0, #10
+		movs r1, #0
+	loop:
+		adds r1, r1, r0
+		subs r0, #1
+		bne loop
+		bkpt #0
+	`)
+	if cpu.R[1] != 55 {
+		t.Errorf("sum = %d, want 55", cpu.R[1])
+	}
+}
+
+func TestSignedComparisons(t *testing.T) {
+	// -1 < 1 signed (blt), but 0xffffffff > 1 unsigned (bhi).
+	cpu := run(t, `
+		ldr r0, =0xffffffff
+		movs r1, #1
+		movs r2, #0
+		movs r3, #0
+		cmp r0, r1
+		bge skip1
+		movs r2, #1        @ taken: -1 < 1 signed
+	skip1:
+		cmp r0, r1
+		bls skip2
+		movs r3, #1        @ taken: 0xffffffff > 1 unsigned
+	skip2:
+		bkpt #0
+	`)
+	if cpu.R[2] != 1 {
+		t.Error("blt path not taken: signed comparison broken")
+	}
+	if cpu.R[3] != 1 {
+		t.Error("bhi path not taken: unsigned comparison broken")
+	}
+}
+
+func TestHiRegisterOps(t *testing.T) {
+	cpu := run(t, `
+		movs r0, #10
+		mov r8, r0
+		movs r0, #3
+		add r0, r8
+		mov r1, sp
+		bkpt #0
+	`)
+	if cpu.R[0] != 13 {
+		t.Errorf("add r0, r8 = %d, want 13", cpu.R[0])
+	}
+	if cpu.R[1] != cpu.R[armv6m.SP] {
+		t.Error("mov r1, sp mismatch")
+	}
+}
+
+func TestRevInstructions(t *testing.T) {
+	cpu := run(t, `
+		ldr r0, =0x12345678
+		rev r1, r0
+		rev16 r2, r0
+		revsh r3, r0
+		bkpt #0
+	`)
+	if cpu.R[1] != 0x78563412 {
+		t.Errorf("rev = 0x%08x", cpu.R[1])
+	}
+	if cpu.R[2] != 0x34127856 {
+		t.Errorf("rev16 = 0x%08x", cpu.R[2])
+	}
+	if cpu.R[3] != 0x00007856 {
+		t.Errorf("revsh = 0x%08x", cpu.R[3])
+	}
+}
+
+func TestSPRelativeAndAddSub(t *testing.T) {
+	cpu := run(t, `
+		sub sp, #16
+		movs r0, #42
+		str r0, [sp, #4]
+		ldr r1, [sp, #4]
+		add r2, sp, #4
+		ldr r3, [r2]
+		add sp, #16
+		bkpt #0
+	`)
+	if cpu.R[1] != 42 || cpu.R[3] != 42 {
+		t.Errorf("sp-relative store/load = %d %d, want 42 42", cpu.R[1], cpu.R[3])
+	}
+}
+
+func TestUnalignedAccessFaults(t *testing.T) {
+	cpu, _ := boot(t, `
+		ldr r0, =0x20000001
+		ldr r1, [r0]
+		bkpt #0
+	`)
+	err := cpu.Run(100)
+	if err == nil {
+		t.Fatal("expected a bus fault on unaligned word load")
+	}
+	if !strings.Contains(err.Error(), "unaligned") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestWriteToFlashFaults(t *testing.T) {
+	cpu, _ := boot(t, `
+		ldr r0, =0x08000000
+		movs r1, #1
+		str r1, [r0]
+		bkpt #0
+	`)
+	err := cpu.Run(100)
+	if err == nil || !strings.Contains(err.Error(), "flash") {
+		t.Fatalf("expected a flash write fault, got %v", err)
+	}
+}
+
+func TestUnmappedAccessFaults(t *testing.T) {
+	cpu, _ := boot(t, `
+		ldr r0, =0x40000000
+		ldr r1, [r0]
+		bkpt #0
+	`)
+	err := cpu.Run(100)
+	if err == nil || !strings.Contains(err.Error(), "unmapped") {
+		t.Fatalf("expected an unmapped fault, got %v", err)
+	}
+}
+
+func TestRunawayDetection(t *testing.T) {
+	cpu, _ := boot(t, `
+	spin:
+		b spin
+	`)
+	if err := cpu.Run(1000); err == nil {
+		t.Fatal("expected runaway detection to trip")
+	}
+}
+
+// --- Cycle model tests (Cortex-M0 TRM) ---
+
+// cyclesOf runs src and returns cycles consumed after reset, excluding
+// the final BKPT (1 cycle).
+func cyclesOf(t *testing.T, src string) uint64 {
+	t.Helper()
+	cpu := run(t, src+"\nbkpt #0\n")
+	return cpu.Cycles - 1
+}
+
+func TestCycleCountsALU(t *testing.T) {
+	// 3 single-cycle ALU instructions.
+	if got := cyclesOf(t, "movs r0, #1\nadds r0, #1\nlsls r0, r0, #2"); got != 3 {
+		t.Errorf("ALU cycles = %d, want 3", got)
+	}
+}
+
+func TestCycleCountsLoadStore(t *testing.T) {
+	// ldr= (2) + movs (1) + str (2) + ldr (2) = 7.
+	got := cyclesOf(t, "ldr r0, =0x20000000\nmovs r1, #1\nstr r1, [r0]\nldr r2, [r0]")
+	if got != 7 {
+		t.Errorf("load/store cycles = %d, want 7", got)
+	}
+}
+
+func TestCycleCountsBranch(t *testing.T) {
+	// movs(1) + cmp(1) + bne not-taken(1) + b taken(3) = 6, plus the
+	// skipped movs never executes.
+	got := cyclesOf(t, `
+		movs r0, #0
+		cmp r0, #0
+		bne never
+		b done
+	never:
+		movs r0, #9
+	done:
+	`)
+	if got != 6 {
+		t.Errorf("branch cycles = %d, want 6", got)
+	}
+}
+
+func TestCycleCountsCall(t *testing.T) {
+	// bl(4) + bx lr(3) = 7.
+	got := cyclesOf(t, `
+		bl fn
+		b done
+	fn:
+		bx lr
+	done:
+	`)
+	// bl(4) + bx(3) + b(3) = 10
+	if got != 10 {
+		t.Errorf("call cycles = %d, want 10", got)
+	}
+}
+
+func TestCycleCountsPushPop(t *testing.T) {
+	// push {r4,r5,lr} = 1+3 = 4; pop {r4,r5,pc} = 4+3 = 7? No: 1+3+3 = 7.
+	got := cyclesOf(t, `
+		bl fn
+		b done
+	fn:
+		push {r4, r5, lr}
+		pop {r4, r5, pc}
+	done:
+	`)
+	// bl(4) + push(4) + pop(7) + b(3) = 18
+	if got != 18 {
+		t.Errorf("push/pop cycles = %d, want 18", got)
+	}
+}
+
+func TestCycleCountsLdmStm(t *testing.T) {
+	// ldr=(2) + stm 3 regs (4) + ldr=(2) + ldm 3 regs (4) = 12.
+	got := cyclesOf(t, `
+		ldr r0, =0x20000100
+		stmia r0!, {r1-r3}
+		ldr r4, =0x20000100
+		ldmia r4!, {r5-r7}
+	`)
+	if got != 12 {
+		t.Errorf("ldm/stm cycles = %d, want 12", got)
+	}
+}
+
+func TestFlashWaitStatesAddCycles(t *testing.T) {
+	src := `
+		movs r0, #10
+	loop:
+		subs r0, #1
+		bne loop
+	`
+	fast := run(t, src+"\nbkpt #0\n").Cycles
+
+	cpu, _ := boot(t, src+"\nbkpt #0\n")
+	cpu.Bus.FlashWaitStates = 1
+	if err := cpu.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	slow := cpu.Cycles
+	if slow <= fast {
+		t.Errorf("wait states did not slow execution: %d vs %d", slow, fast)
+	}
+	// With 1WS every instruction fetch pays +1: slow == fast + instructions.
+	if slow != fast+cpu.Instructions {
+		t.Errorf("1WS cycles = %d, want %d (+%d instructions)", slow, fast, cpu.Instructions)
+	}
+}
+
+func TestMulCyclesConfigurable(t *testing.T) {
+	src := "movs r0, #3\nmovs r1, #4\nmuls r0, r1, r0\nbkpt #0\n"
+	cpu, _ := boot(t, src)
+	cpu.MulCycles = 32
+	if err := cpu.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	slow := cpu.Cycles
+	fastCPU := run(t, src)
+	if slow-fastCPU.Cycles != 31 {
+		t.Errorf("32-cycle multiplier delta = %d, want 31", slow-fastCPU.Cycles)
+	}
+}
+
+func TestInstructionCountAndDeterminism(t *testing.T) {
+	src := `
+		movs r0, #50
+		movs r1, #0
+	loop:
+		adds r1, r1, r0
+		subs r0, #1
+		bne loop
+		bkpt #0
+	`
+	a := run(t, src)
+	b := run(t, src)
+	if a.Cycles != b.Cycles || a.Instructions != b.Instructions {
+		t.Error("emulation is not deterministic")
+	}
+	if a.R[1] != 1275 {
+		t.Errorf("sum = %d, want 1275", a.R[1])
+	}
+}
+
+func TestM0PlusProfileBranchCost(t *testing.T) {
+	src := `
+		movs r0, #10
+	loop:
+		subs r0, #1
+		bne loop
+		bkpt #0
+	`
+	m0, _ := boot(t, src)
+	if err := m0.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	m0p, _ := boot(t, src)
+	m0p.Profile = armv6m.ProfileM0Plus
+	if err := m0p.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	// 9 taken branches, each one cycle cheaper on the M0+.
+	if m0.Cycles-m0p.Cycles != 9 {
+		t.Errorf("M0 %d vs M0+ %d cycles: delta %d, want 9",
+			m0.Cycles, m0p.Cycles, m0.Cycles-m0p.Cycles)
+	}
+}
+
+func TestStepAfterHaltReturnsErrHalted(t *testing.T) {
+	cpu, _ := boot(t, "bkpt #0\n")
+	if err := cpu.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := cpu.Step(); err != armv6m.ErrHalted {
+		t.Errorf("Step after halt = %v, want ErrHalted", err)
+	}
+}
+
+func TestBusTrafficCounters(t *testing.T) {
+	cpu := run(t, `
+		ldr r0, =0x20000000
+		movs r1, #1
+		str r1, [r0]
+		ldr r2, [r0]
+		bkpt #0
+	`)
+	if cpu.Bus.SRAMWrites != 1 {
+		t.Errorf("SRAM writes = %d, want 1", cpu.Bus.SRAMWrites)
+	}
+	if cpu.Bus.SRAMReads != 1 {
+		t.Errorf("SRAM reads = %d, want 1", cpu.Bus.SRAMReads)
+	}
+	if cpu.Bus.FlashReads == 0 {
+		t.Error("no flash reads counted (instruction fetches)")
+	}
+}
+
+func TestResetRestoresCleanState(t *testing.T) {
+	cpu, _ := boot(t, `
+		movs r0, #7
+		movs r1, #9
+		bkpt #0
+	`)
+	if err := cpu.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := cpu.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.Halted || cpu.R[0] != 0 || cpu.R[1] != 0 {
+		t.Error("Reset did not clear state")
+	}
+	if err := cpu.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.R[0] != 7 || cpu.R[1] != 9 {
+		t.Error("re-run after Reset failed")
+	}
+}
+
+func TestHaltCode(t *testing.T) {
+	cpu := run(t, "bkpt #42\n")
+	if cpu.HaltCode != 42 {
+		t.Errorf("HaltCode = %d, want 42", cpu.HaltCode)
+	}
+}
+
+func TestCPSMaskingInstructions(t *testing.T) {
+	cpu := run(t, `
+		cpsid i
+		movs r0, #1
+		cpsie i
+		movs r1, #2
+		bkpt #0
+	`)
+	if cpu.R[0] != 1 || cpu.R[1] != 2 {
+		t.Error("cps instructions disturbed execution")
+	}
+	if cpu.PriMask {
+		t.Error("PriMask still set after cpsie")
+	}
+}

@@ -1,0 +1,123 @@
+package armv6m_test
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"github.com/neuro-c/neuroc/internal/armv6m"
+	"github.com/neuro-c/neuroc/internal/thumb"
+)
+
+func TestDisassembleKnown(t *testing.T) {
+	cases := []struct {
+		op, lo uint16
+		want   string
+		size   int
+	}{
+		{0x20ff, 0, "movs r0, #255", 2},
+		{0x0011, 0, "movs r1, r2", 2},
+		{0x0108, 0, "lsls r0, r1, #4", 2},
+		{0x1888, 0, "adds r0, r1, r2", 2},
+		{0x1a88, 0, "subs r0, r1, r2", 2},
+		{0x4348, 0, "muls r0, r1", 2},
+		{0x4770, 0, "bx lr", 2},
+		{0x4680, 0, "mov r8, r0", 2},
+		{0x6048, 0, "str r0, [r1, #4]", 2},
+		{0x5688, 0, "ldrsb r0, [r1, r2]", 2},
+		{0x9002, 0, "str r0, [sp, #8]", 2},
+		{0xb530, 0, "push {r4, r5, lr}", 2},
+		{0xbd30, 0, "pop {r4, r5, pc}", 2},
+		{0xb208, 0, "sxth r0, r1", 2},
+		{0xba08, 0, "rev r0, r1", 2},
+		{0xbe2a, 0, "bkpt #42", 2},
+		{0xbf00, 0, "nop", 2},
+		{0xb006, 0, "add sp, #24", 2},
+		{0xb088, 0, "sub sp, #32", 2},
+		{0xc006, 0, "stmia r0!, {r1, r2}", 2},
+		{0xf000, 0xf800, "bl 0x08000014", 4},
+	}
+	for _, tc := range cases {
+		got, size := armv6m.Disassemble(0x0800_0010, tc.op, tc.lo)
+		if got != tc.want || size != tc.size {
+			t.Errorf("Disassemble(0x%04x, 0x%04x) = %q/%d, want %q/%d",
+				tc.op, tc.lo, got, size, tc.want, tc.size)
+		}
+	}
+}
+
+func TestDisassembleBranchTargets(t *testing.T) {
+	// bne with offset -6 at address 0x08000020 targets 0x0800001e.
+	got, _ := armv6m.Disassemble(0x0800_0020, 0xd1fd, 0)
+	if got != "bne 0x0800001e" {
+		t.Errorf("bne = %q", got)
+	}
+	got, _ = armv6m.Disassemble(0x0800_0020, 0xe7ff, 0)
+	if got != "b 0x08000022" {
+		t.Errorf("b = %q", got)
+	}
+}
+
+func TestDisassembleUnknownIsData(t *testing.T) {
+	got, size := armv6m.Disassemble(0, 0xffff, 0xffff)
+	if !strings.HasPrefix(got, ".hword") || size != 2 {
+		t.Errorf("unknown encoding = %q/%d", got, size)
+	}
+}
+
+// TestDisassembleCoversAssembledCode assembles a representative program
+// and checks every emitted instruction decodes to something other than
+// raw data.
+func TestDisassembleCoversAssembledCode(t *testing.T) {
+	src := `
+	start:
+		movs r0, #1
+		mov r9, r0
+		adds r0, r0, r0
+		subs r0, #1
+		lsls r1, r0, #3
+		asrs r1, r1, #1
+		ands r1, r0
+		orrs r1, r0
+		mvns r2, r1
+		cmp r0, r1
+		beq start
+		ldr r3, [sp, #4]
+		str r3, [sp, #8]
+		ldrb r4, [r3, #1]
+		strh r4, [r3, #2]
+		ldrsh r5, [r3, r4]
+		push {r0-r3, lr}
+		pop {r0-r3, pc}
+		stmia r0!, {r1}
+		ldmia r0!, {r1}
+		sxtb r1, r2
+		uxth r2, r3
+		rev16 r3, r4
+		add r4, sp, #8
+		adr r5, fwd
+		bl start
+		bx lr
+		wfi
+		bkpt #7
+		.align 4
+	fwd:
+		nop
+	`
+	p, err := thumb.Assemble(src, 0x0800_0010)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(p.Code); {
+		op := binary.LittleEndian.Uint16(p.Code[off:])
+		var lo uint16
+		if off+4 <= len(p.Code) {
+			lo = binary.LittleEndian.Uint16(p.Code[off+2:])
+		}
+		text, size := armv6m.Disassemble(p.Base+uint32(off), op, lo)
+		if strings.HasPrefix(text, ".hword") {
+			t.Errorf("instruction at +%d (0x%04x) not disassembled", off, op)
+		}
+		off += size
+	}
+}

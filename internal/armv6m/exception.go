@@ -1,0 +1,126 @@
+package armv6m
+
+import "fmt"
+
+// Exception support: the subset of the ARMv6-M exception model needed to
+// study inference under sensor-interrupt preemption (paper Sec. 4.1) —
+// a SysTick-style periodic interrupt, hardware stacking of the caller-
+// saved frame, and EXC_RETURN unstacking. Fidelity notes:
+//
+//   - Entry and exit each cost 16 cycles, the Cortex-M0's documented
+//     interrupt latency (zero-jitter mode off, no late-arrival).
+//   - The stacked frame is the architectural 8 words {r0-r3, r12, lr,
+//     return address, xPSR}; APSR flags are saved and restored, so an
+//     interrupt arriving between a compare and its branch is harmless
+//     (the preemption-correctness tests rely on this).
+//   - One active exception, no nesting or priorities: enough for the
+//     single-source experiments; a full NVIC is out of scope.
+//   - The 8-byte stack alignment adjustment of real hardware is not
+//     modeled (frames are 4-byte aligned), which does not affect the
+//     measured kernels.
+
+// SysTickVector is the vector-table slot of the SysTick exception.
+const SysTickVector = 15
+
+// excReturn is the EXC_RETURN value for "return to thread mode, main
+// stack" that the core places in LR on exception entry.
+const excReturn = 0xFFFFFFF9
+
+// SysTick is a down-counting timer raising an exception each time it
+// wraps. Reload <= 0 disables it.
+type SysTick struct {
+	// Reload is the period in cycles.
+	Reload int64
+	// counter tracks cycles until the next fire.
+	counter int64
+	// Fires counts taken SysTick exceptions.
+	Fires uint64
+}
+
+// Configure arms the timer with the given period in cycles.
+func (s *SysTick) Configure(reloadCycles int64) {
+	s.Reload = reloadCycles
+	s.counter = reloadCycles
+	s.Fires = 0
+}
+
+// tick advances the timer and reports whether the exception fires.
+func (s *SysTick) tick(cycles int64) bool {
+	if s.Reload <= 0 {
+		return false
+	}
+	s.counter -= cycles
+	if s.counter <= 0 {
+		s.counter += s.Reload
+		if s.counter <= 0 { // period shorter than one instruction burst
+			s.counter = s.Reload
+		}
+		return true
+	}
+	return false
+}
+
+// takeException performs hardware stacking and vectors to the handler.
+func (c *CPU) takeException(vector int) error {
+	sp := c.R[SP] - 32
+	xpsr := uint32(0)
+	if c.N {
+		xpsr |= 1 << 31
+	}
+	if c.Z {
+		xpsr |= 1 << 30
+	}
+	if c.C {
+		xpsr |= 1 << 29
+	}
+	if c.V {
+		xpsr |= 1 << 28
+	}
+	frame := [8]uint32{c.R[0], c.R[1], c.R[2], c.R[3], c.R[12], c.R[LR], c.R[PC], xpsr}
+	for i, v := range frame {
+		if err := c.Bus.Write32(sp+uint32(4*i), v); err != nil {
+			return fmt.Errorf("exception stacking: %w", err)
+		}
+	}
+	c.R[SP] = sp
+	c.R[LR] = excReturn
+	handler, err := c.Bus.Read32(c.Bus.FlashBase + uint32(4*vector))
+	if err != nil {
+		return fmt.Errorf("exception vector %d: %w", vector, err)
+	}
+	if handler&1 == 0 || handler < 2 {
+		return fmt.Errorf("exception vector %d not installed (0x%08x)", vector, handler)
+	}
+	c.R[PC] = handler &^ 1
+	c.inHandler = true
+	c.Cycles += uint64(c.Profile.ExceptionEntry)
+	return nil
+}
+
+// exceptionReturn unstacks the frame saved by takeException.
+func (c *CPU) exceptionReturn() error {
+	sp := c.R[SP]
+	var frame [8]uint32
+	for i := range frame {
+		v, err := c.Bus.Read32(sp + uint32(4*i))
+		if err != nil {
+			return fmt.Errorf("exception unstacking: %w", err)
+		}
+		frame[i] = v
+	}
+	c.R[0], c.R[1], c.R[2], c.R[3] = frame[0], frame[1], frame[2], frame[3]
+	c.R[12], c.R[LR] = frame[4], frame[5]
+	c.R[PC] = frame[6] &^ 1
+	xpsr := frame[7]
+	c.N = xpsr&(1<<31) != 0
+	c.Z = xpsr&(1<<30) != 0
+	c.C = xpsr&(1<<29) != 0
+	c.V = xpsr&(1<<28) != 0
+	c.R[SP] = sp + 32
+	c.inHandler = false
+	c.Cycles += uint64(c.Profile.ExceptionExit)
+	return nil
+}
+
+// isExcReturn reports whether a branch target is an EXC_RETURN value.
+func isExcReturn(addr uint32) bool { return addr >= 0xFFFFFFF0 }

@@ -1,0 +1,152 @@
+// Package bench implements the experiment harness: one runner per table
+// and figure in the paper's evaluation, each regenerating the same rows
+// or series the paper reports (workload generation, training, parameter
+// sweeps, deployment, and on-device measurement). cmd/neuroc-bench and
+// the root package's Go benchmarks are thin wrappers over this package.
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/neuro-c/neuroc/internal/dataset"
+	"github.com/neuro-c/neuroc/internal/device"
+	"github.com/neuro-c/neuroc/internal/encoding"
+	"github.com/neuro-c/neuroc/internal/modelimg"
+	"github.com/neuro-c/neuroc/internal/quant"
+	"github.com/neuro-c/neuroc/internal/rng"
+)
+
+// Config scales the harness. Quick mode shrinks datasets, sweeps, and
+// training budgets so the full suite runs in unit-test time; full mode
+// regenerates the paper-scale numbers.
+type Config struct {
+	Quick bool
+	Log   io.Writer // optional progress log
+	Seed  uint64
+}
+
+// Runner executes experiments, caching generated datasets and trained
+// candidates (the figure runners share sweeps: Fig 7 reuses Fig 6's
+// MNIST results rather than retraining).
+type Runner struct {
+	cfg      Config
+	data     map[string]*dataset.Dataset
+	outcomes map[string]*outcome
+}
+
+// New returns a Runner for cfg.
+func New(cfg Config) *Runner {
+	return &Runner{
+		cfg:      cfg,
+		data:     make(map[string]*dataset.Dataset),
+		outcomes: make(map[string]*outcome),
+	}
+}
+
+func (r *Runner) logf(format string, args ...interface{}) {
+	if r.cfg.Log != nil {
+		fmt.Fprintf(r.cfg.Log, format+"\n", args...)
+	}
+}
+
+// Dataset returns a cached dataset by name ("digits", "mnist",
+// "fashion", "cifar5"), subsampled in quick mode.
+func (r *Runner) Dataset(name string) *dataset.Dataset {
+	if d, ok := r.data[name]; ok {
+		return d
+	}
+	var cfg dataset.SynthConfig
+	switch name {
+	case "digits":
+		cfg = dataset.Digits()
+	case "mnist":
+		cfg = dataset.MNIST()
+	case "fashion":
+		cfg = dataset.FashionMNIST()
+	case "cifar5":
+		cfg = dataset.CIFAR5()
+	default:
+		panic("bench: unknown dataset " + name)
+	}
+	d := dataset.Generate(cfg)
+	if r.cfg.Quick {
+		d = d.Subsample(d.TrainX.Rows/5, d.TestX.Rows/3)
+	}
+	r.data[name] = d
+	return d
+}
+
+// epochs picks a training budget.
+func (r *Runner) epochs(full int) int {
+	if r.cfg.Quick {
+		e := full / 3
+		if e < 2 {
+			e = 2
+		}
+		return e
+	}
+	return full
+}
+
+// synthTernaryLayer builds an untrained ternary quantized layer with
+// the given shape and density, used by the microbenchmarks (Fig. 5)
+// where only latency and size matter, exactly like the paper's
+// fixed-sparsity single-layer kernel experiments.
+func synthTernaryLayer(r *rng.RNG, in, out int, density float64, perNeuron bool) *quant.Layer {
+	a := encoding.NewMatrix(in, out)
+	for o := 0; o < out; o++ {
+		for i := 0; i < in; i++ {
+			if r.Bool(density) {
+				if r.Bool(0.5) {
+					a.Set(o, i, 1)
+				} else {
+					a.Set(o, i, -1)
+				}
+			}
+		}
+	}
+	l := &quant.Layer{
+		Kind: quant.Ternary, In: in, Out: out, A: a,
+		PerNeuron: perNeuron,
+		PreShift:  0, PostShift: 7,
+		Bias: make([]int32, out),
+		ReLU: true,
+	}
+	if perNeuron {
+		l.Mults = make([]int32, out)
+		for o := range l.Mults {
+			l.Mults[o] = int32(r.Intn(100)) + 60
+		}
+	} else {
+		l.Mults = []int32{100}
+	}
+	return l
+}
+
+// measureModel deploys m with enc and returns mean latency (ms) and the
+// image footprint in bytes.
+func measureModel(m *quant.Model, enc modelimg.EncodingChoice, runs int) (ms float64, bytes int, err error) {
+	img, err := modelimg.Build(m, enc)
+	if err != nil {
+		return 0, 0, err
+	}
+	dev, err := device.New(img)
+	if err != nil {
+		return 0, 0, err
+	}
+	r := rng.New(77)
+	in := make([]int8, m.Layers[0].In)
+	for i := range in {
+		in[i] = int8(r.Intn(255) - 127)
+	}
+	var total uint64
+	for i := 0; i < runs; i++ {
+		res, err := dev.Run(in)
+		if err != nil {
+			return 0, 0, err
+		}
+		total += res.Cycles
+	}
+	return device.CyclesToMS(total / uint64(runs)), img.TotalBytes(), nil
+}

@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickRunner returns a Runner in quick mode for CI-sized experiment
+// smoke tests. These validate that every experiment runs end to end and
+// produces the expected table structure; the paper-scale numbers come
+// from cmd/neuroc-bench.
+func quickRunner() *Runner {
+	return New(Config{Quick: true, Seed: 1})
+}
+
+func TestTable1(t *testing.T) {
+	tb := quickRunner().Table1()
+	if len(tb.Rows) != 3 {
+		t.Errorf("Table 1 rows = %d, want 3", len(tb.Rows))
+	}
+	if !strings.Contains(tb.String(), "Cortex-M0") {
+		t.Error("Table 1 missing the target class")
+	}
+}
+
+func TestFig2Quick(t *testing.T) {
+	tb := quickRunner().Fig2()
+	if len(tb.Rows) < 1 {
+		t.Fatal("Fig 2 produced no rows")
+	}
+	// The FC layer must be faster than the equal-MACC conv.
+	for _, row := range tb.Rows {
+		if !strings.Contains(row[6], ".") {
+			t.Fatalf("speedup cell malformed: %v", row)
+		}
+	}
+	s := tb.String()
+	if !strings.Contains(s, "CNN latency") {
+		t.Error("Fig 2 missing columns")
+	}
+}
+
+func TestFig3(t *testing.T) {
+	tb := quickRunner().Fig3()
+	if len(tb.Rows) != 4 {
+		t.Fatalf("Fig 3 rows = %d, want 4 encodings", len(tb.Rows))
+	}
+	names := map[string]bool{}
+	for _, row := range tb.Rows {
+		names[row[0]] = true
+	}
+	for _, want := range []string{"csc", "delta", "mixed", "block"} {
+		if !names[want] {
+			t.Errorf("Fig 3 missing encoding %s", want)
+		}
+	}
+}
+
+func TestFig5Quick(t *testing.T) {
+	lat, flash := quickRunner().Fig5()
+	if len(lat.Rows) == 0 || len(flash.Rows) == 0 {
+		t.Fatal("Fig 5 produced no rows")
+	}
+	if len(lat.Columns) != 5 || len(flash.Columns) != 5 {
+		t.Error("Fig 5 should have one column per encoding plus N_out")
+	}
+}
+
+func TestFig1Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	tb := quickRunner().Fig1()
+	if len(tb.Rows) < 4 {
+		t.Fatalf("Fig 1 rows = %d", len(tb.Rows))
+	}
+	// Rows are sorted by parameter count.
+	prev := -1
+	for _, row := range tb.Rows {
+		var params int
+		if _, err := sscanInt(row[2], &params); err != nil {
+			t.Fatalf("bad params cell %q", row[2])
+		}
+		if params < prev {
+			t.Error("Fig 1 rows not sorted by params")
+		}
+		prev = params
+	}
+}
+
+func sscanInt(s string, out *int) (int, error) {
+	n := 0
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			break
+		}
+		n = n*10 + int(r-'0')
+	}
+	*out = n
+	return n, nil
+}
+
+func TestFig8Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	tb := quickRunner().Fig8()
+	if len(tb.Rows) < 1 {
+		t.Fatal("Fig 8 produced no rows")
+	}
+	// Overhead columns must be present and small-positive formatted.
+	for _, row := range tb.Rows {
+		if !strings.HasPrefix(row[4], "+") || !strings.HasPrefix(row[5], "+") {
+			t.Errorf("Fig 8 overheads malformed: %v", row)
+		}
+	}
+}
+
+func TestDatasetCache(t *testing.T) {
+	r := quickRunner()
+	a := r.Dataset("digits")
+	b := r.Dataset("digits")
+	if a != b {
+		t.Error("dataset not cached")
+	}
+}
+
+func TestUnknownDatasetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown dataset accepted")
+		}
+	}()
+	quickRunner().Dataset("imagenet")
+}
+
+func TestAblations(t *testing.T) {
+	tables := quickRunner().Ablations()
+	if len(tables) != 3 {
+		t.Fatalf("ablations = %d tables, want 3", len(tables))
+	}
+	// The multiplier ablation must show dense layers hurt far more by a
+	// slow multiplier than the MAC-free Neuro-C kernel.
+	mult := tables[1]
+	if len(mult.Rows) != 2 {
+		t.Fatal("multiplier ablation malformed")
+	}
+	if !strings.Contains(mult.Rows[0][3], "x") || !strings.Contains(mult.Rows[1][3], "x") {
+		t.Error("missing slowdown factors")
+	}
+}
+
+func TestMicroExperimentsDeterministic(t *testing.T) {
+	// Device-measured experiments must be bit-deterministic across
+	// runner instances (same seed).
+	a := New(Config{Quick: true, Seed: 1})
+	b := New(Config{Quick: true, Seed: 1})
+	if a.Fig3().String() != b.Fig3().String() {
+		t.Error("Fig 3 not deterministic")
+	}
+	la, fa := a.Fig5()
+	lb, fb := b.Fig5()
+	if la.String() != lb.String() || fa.String() != fb.String() {
+		t.Error("Fig 5 not deterministic")
+	}
+	if a.Interrupts().String() != b.Interrupts().String() {
+		t.Error("interrupt experiment not deterministic")
+	}
+	if a.Cores().String() != b.Cores().String() {
+		t.Error("core-profile experiment not deterministic")
+	}
+}
+
+func TestInterruptsTable(t *testing.T) {
+	tb := quickRunner().Interrupts()
+	if len(tb.Rows) != 5 {
+		t.Fatalf("interrupts rows = %d, want 5", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[4] != "yes" {
+			t.Errorf("output corrupted under %s", row[0])
+		}
+	}
+}
+
+func TestCoresTable(t *testing.T) {
+	tb := quickRunner().Cores()
+	if len(tb.Rows) != 2 {
+		t.Fatalf("cores rows = %d", len(tb.Rows))
+	}
+	if tb.Rows[1][3] >= tb.Rows[0][3] && tb.Rows[1][3] != "1.00x" {
+		// M0+ must not be slower than M0.
+		t.Errorf("M0+ slower than M0: %v", tb.Rows)
+	}
+}

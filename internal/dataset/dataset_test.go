@@ -1,0 +1,315 @@
+package dataset
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/neuro-c/neuroc/internal/nn"
+	"github.com/neuro-c/neuroc/internal/rng"
+)
+
+func TestGenerateGeometry(t *testing.T) {
+	for _, cfg := range []SynthConfig{Digits(), MNIST(), FashionMNIST(), CIFAR5()} {
+		small := cfg
+		small.Train, small.Test = 50, 20
+		d := Generate(small)
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+		if d.Dim() != cfg.Width*cfg.Height*cfg.Channels {
+			t.Errorf("%s: dim %d", cfg.Name, d.Dim())
+		}
+		if d.TrainX.Rows != 50 || d.TestX.Rows != 20 {
+			t.Errorf("%s: sizes %d/%d", cfg.Name, d.TrainX.Rows, d.TestX.Rows)
+		}
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	cfg := Digits()
+	cfg.Train, cfg.Test = 30, 10
+	a := Generate(cfg)
+	b := Generate(cfg)
+	for i := range a.TrainX.Data {
+		if a.TrainX.Data[i] != b.TrainX.Data[i] {
+			t.Fatal("same config produced different data")
+		}
+	}
+	for i := range a.TrainY {
+		if a.TrainY[i] != b.TrainY[i] {
+			t.Fatal("same config produced different labels")
+		}
+	}
+}
+
+func TestPixelsInRange(t *testing.T) {
+	cfg := MNIST()
+	cfg.Train, cfg.Test = 40, 10
+	d := Generate(cfg)
+	for _, v := range d.TrainX.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel %v outside [0,1]", v)
+		}
+	}
+}
+
+func TestClassBalance(t *testing.T) {
+	cfg := MNIST()
+	cfg.Train, cfg.Test = 500, 100
+	d := Generate(cfg)
+	counts := ClassCounts(d.TrainY, d.NumClasses)
+	for c, n := range counts {
+		if n == 0 {
+			t.Errorf("class %d absent from training split", c)
+		}
+	}
+}
+
+func TestSubsample(t *testing.T) {
+	cfg := Digits()
+	cfg.Train, cfg.Test = 100, 50
+	d := Generate(cfg).Subsample(20, 10)
+	if d.TrainX.Rows != 20 || len(d.TrainY) != 20 {
+		t.Errorf("subsampled train = %d", d.TrainX.Rows)
+	}
+	if d.TestX.Rows != 10 || len(d.TestY) != 10 {
+		t.Errorf("subsampled test = %d", d.TestX.Rows)
+	}
+	if err := d.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDigitsLearnable is the end-to-end sanity check for the entire
+// training substrate: a small MLP must reach high accuracy on the easy
+// digits stand-in.
+func TestDigitsLearnable(t *testing.T) {
+	cfg := Digits()
+	cfg.Train, cfg.Test = 1000, 300
+	d := Generate(cfg)
+	r := rng.New(42)
+	net := nn.NewNetwork(
+		nn.NewDense(d.Dim(), 48, r),
+		nn.NewReLU(),
+		nn.NewDense(48, d.NumClasses, r),
+	)
+	nn.Fit(net, d.TrainX, d.TrainY, nn.TrainConfig{
+		Epochs: 25, BatchSize: 32, Optimizer: nn.NewAdam(2e-3), Seed: 1,
+	})
+	acc := net.Accuracy(d.TestX, d.TestY)
+	if acc < 0.85 {
+		t.Errorf("digits test accuracy = %v, want >= 0.85", acc)
+	}
+}
+
+// TestDifficultyOrdering checks the calibrated difficulty: with the same
+// (small) model and budget, mnist-synth is easier than fashion-synth,
+// which is easier than cifar5-synth.
+func TestDifficultyOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training comparison skipped in -short mode")
+	}
+	accOf := func(cfg SynthConfig) float64 {
+		cfg.Train, cfg.Test = 1000, 400
+		d := Generate(cfg)
+		r := rng.New(7)
+		net := nn.NewNetwork(
+			nn.NewDense(d.Dim(), 24, r),
+			nn.NewReLU(),
+			nn.NewDense(24, d.NumClasses, r),
+		)
+		nn.Fit(net, d.TrainX, d.TrainY, nn.TrainConfig{
+			Epochs: 6, BatchSize: 32, Optimizer: nn.NewAdam(2e-3), Seed: 2,
+		})
+		return net.Accuracy(d.TestX, d.TestY)
+	}
+	mnist := accOf(MNIST())
+	fashion := accOf(FashionMNIST())
+	if mnist <= fashion {
+		t.Errorf("difficulty inversion: mnist %v <= fashion %v", mnist, fashion)
+	}
+}
+
+// --- real-format loader tests with in-memory files ---
+
+func writeIDXImages(t *testing.T, path string, imgs [][]byte, w, h int, gz bool) {
+	t.Helper()
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.BigEndian, uint32(idxMagicImages))
+	binary.Write(&buf, binary.BigEndian, uint32(len(imgs)))
+	binary.Write(&buf, binary.BigEndian, uint32(h))
+	binary.Write(&buf, binary.BigEndian, uint32(w))
+	for _, img := range imgs {
+		buf.Write(img)
+	}
+	writeMaybeGz(t, path, buf.Bytes(), gz)
+}
+
+func writeIDXLabels(t *testing.T, path string, labels []byte, gz bool) {
+	t.Helper()
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.BigEndian, uint32(idxMagicLabels))
+	binary.Write(&buf, binary.BigEndian, uint32(len(labels)))
+	buf.Write(labels)
+	writeMaybeGz(t, path, buf.Bytes(), gz)
+}
+
+func writeMaybeGz(t *testing.T, path string, data []byte, gz bool) {
+	t.Helper()
+	if gz {
+		var zbuf bytes.Buffer
+		zw := gzip.NewWriter(&zbuf)
+		zw.Write(data)
+		zw.Close()
+		data = zbuf.Bytes()
+		path += ".gz"
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadIDX(t *testing.T) {
+	for _, gz := range []bool{false, true} {
+		dir := t.TempDir()
+		img := make([]byte, 4) // 2x2
+		img[0], img[3] = 255, 128
+		writeIDXImages(t, filepath.Join(dir, "train-images-idx3-ubyte"), [][]byte{img, img}, 2, 2, gz)
+		writeIDXLabels(t, filepath.Join(dir, "train-labels-idx1-ubyte"), []byte{0, 1}, gz)
+		writeIDXImages(t, filepath.Join(dir, "t10k-images-idx3-ubyte"), [][]byte{img}, 2, 2, gz)
+		writeIDXLabels(t, filepath.Join(dir, "t10k-labels-idx1-ubyte"), []byte{1}, gz)
+
+		d, err := LoadIDX(dir, "tiny", 2)
+		if err != nil {
+			t.Fatalf("gz=%v: %v", gz, err)
+		}
+		if d.TrainX.Rows != 2 || d.TestX.Rows != 1 || d.Width != 2 || d.Height != 2 {
+			t.Errorf("gz=%v: geometry %+v", gz, d)
+		}
+		if d.TrainX.At(0, 0) != 1.0 {
+			t.Errorf("pixel scaling: %v", d.TrainX.At(0, 0))
+		}
+		if d.TrainY[1] != 1 {
+			t.Errorf("labels: %v", d.TrainY)
+		}
+	}
+}
+
+func TestLoadIDXMissingFile(t *testing.T) {
+	if _, err := LoadIDX(t.TempDir(), "missing", 10); err == nil {
+		t.Error("expected error for empty directory")
+	}
+}
+
+func TestReadIDXBadMagic(t *testing.T) {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.BigEndian, uint32(0xdeadbeef))
+	binary.Write(&buf, binary.BigEndian, uint32(1))
+	binary.Write(&buf, binary.BigEndian, uint32(1))
+	binary.Write(&buf, binary.BigEndian, uint32(1))
+	if _, _, _, err := ReadIDXImages(&buf); err == nil {
+		t.Error("expected bad magic error")
+	}
+}
+
+func TestCIFARBatchFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	writeRec := func(label byte) {
+		rec := make([]byte, cifarRecordSize)
+		rec[0] = label
+		for i := 1; i < cifarRecordSize; i++ {
+			rec[i] = byte(i)
+		}
+		buf.Write(rec)
+	}
+	writeRec(0)
+	writeRec(7) // filtered out for CIFAR5
+	writeRec(4)
+	x, y, err := ReadCIFARBatch(&buf, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Rows != 2 || y[0] != 0 || y[1] != 4 {
+		t.Errorf("filtered batch: %d rows, labels %v", x.Rows, y)
+	}
+}
+
+func TestCIFARTruncatedRecord(t *testing.T) {
+	buf := bytes.NewBuffer(make([]byte, 100)) // not a full record
+	if _, _, err := ReadCIFARBatch(buf, 10); err == nil {
+		t.Error("expected truncation error")
+	}
+}
+
+func TestLoadCIFAR5(t *testing.T) {
+	dir := t.TempDir()
+	mkBatch := func(name string, labels ...byte) {
+		var buf bytes.Buffer
+		for _, l := range labels {
+			rec := make([]byte, cifarRecordSize)
+			rec[0] = l
+			buf.Write(rec)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= 5; i++ {
+		mkBatch(filepath.Join("data_batch_"+string(rune('0'+i))+".bin"), 0, 1, 2, 9)
+	}
+	mkBatch("test_batch.bin", 3, 4, 8)
+	d, err := LoadCIFAR5(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TrainX.Rows != 15 { // 3 kept per batch × 5 batches
+		t.Errorf("train rows = %d, want 15", d.TrainX.Rows)
+	}
+	if d.TestX.Rows != 2 {
+		t.Errorf("test rows = %d, want 2", d.TestX.Rows)
+	}
+}
+
+func TestLoadOptdigits(t *testing.T) {
+	dir := t.TempDir()
+	mkRow := func(label int) string {
+		fields := make([]string, 65)
+		for i := 0; i < 64; i++ {
+			fields[i] = "8"
+		}
+		fields[0] = "16"
+		fields[64] = string(rune('0' + label))
+		return strings.Join(fields, ",")
+	}
+	train := mkRow(0) + "\n" + mkRow(1) + "\n" + mkRow(2) + "\n"
+	test := mkRow(3) + "\n"
+	os.WriteFile(filepath.Join(dir, "optdigits.tra"), []byte(train), 0o644)
+	os.WriteFile(filepath.Join(dir, "optdigits.tes"), []byte(test), 0o644)
+	d, err := LoadOptdigits(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TrainX.Rows != 3 || d.TestX.Rows != 1 || d.Dim() != 64 {
+		t.Errorf("geometry: %d train, %d test, dim %d", d.TrainX.Rows, d.TestX.Rows, d.Dim())
+	}
+	if d.TrainX.At(0, 0) != 1.0 {
+		t.Errorf("feature scaling: %v, want 1.0", d.TrainX.At(0, 0))
+	}
+	if d.TestY[0] != 3 {
+		t.Errorf("label = %d", d.TestY[0])
+	}
+}
+
+func TestLoadOptdigitsRejectsBadRows(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "optdigits.tra"), []byte("1,2,3\n"), 0o644)
+	os.WriteFile(filepath.Join(dir, "optdigits.tes"), []byte("1,2,3\n"), 0o644)
+	if _, err := LoadOptdigits(dir); err == nil {
+		t.Error("short row accepted")
+	}
+}

@@ -1,0 +1,328 @@
+package dataset
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"github.com/neuro-c/neuroc/internal/tensor"
+)
+
+// This file implements loaders for the real dataset formats so the
+// experiments can be re-run on the authentic data when the files are
+// available: the IDX format used by MNIST and FashionMNIST, and the
+// CIFAR-10 binary batch format.
+
+const (
+	idxMagicImages = 0x00000803 // idx3-ubyte
+	idxMagicLabels = 0x00000801 // idx1-ubyte
+)
+
+// openMaybeGzip opens path, transparently decompressing .gz files.
+func openMaybeGzip(path string) (io.ReadCloser, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("dataset: %s: %w", path, err)
+		}
+		return &gzipCloser{gz: gz, file: f}, nil
+	}
+	return f, nil
+}
+
+type gzipCloser struct {
+	gz   *gzip.Reader
+	file *os.File
+}
+
+func (g *gzipCloser) Read(p []byte) (int, error) { return g.gz.Read(p) }
+func (g *gzipCloser) Close() error {
+	g.gz.Close()
+	return g.file.Close()
+}
+
+// ReadIDXImages parses an idx3-ubyte image stream into a sample matrix
+// with pixels scaled to [0,1], returning the image geometry.
+func ReadIDXImages(r io.Reader) (x *tensor.Mat, width, height int, err error) {
+	var hdr [4]uint32
+	for i := range hdr {
+		if err := binary.Read(r, binary.BigEndian, &hdr[i]); err != nil {
+			return nil, 0, 0, fmt.Errorf("dataset: idx image header: %w", err)
+		}
+	}
+	if hdr[0] != idxMagicImages {
+		return nil, 0, 0, fmt.Errorf("dataset: bad idx image magic 0x%08x", hdr[0])
+	}
+	n, h, w := int(hdr[1]), int(hdr[2]), int(hdr[3])
+	if n <= 0 || h <= 0 || w <= 0 || n > 1<<24 || h > 1<<12 || w > 1<<12 {
+		return nil, 0, 0, fmt.Errorf("dataset: implausible idx dims %dx%dx%d", n, h, w)
+	}
+	buf := make([]byte, n*h*w)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, 0, 0, fmt.Errorf("dataset: idx image payload: %w", err)
+	}
+	x = tensor.NewMat(n, h*w)
+	for i, b := range buf {
+		x.Data[i] = float32(b) / 255
+	}
+	return x, w, h, nil
+}
+
+// ReadIDXLabels parses an idx1-ubyte label stream.
+func ReadIDXLabels(r io.Reader) ([]int, error) {
+	var hdr [2]uint32
+	for i := range hdr {
+		if err := binary.Read(r, binary.BigEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("dataset: idx label header: %w", err)
+		}
+	}
+	if hdr[0] != idxMagicLabels {
+		return nil, fmt.Errorf("dataset: bad idx label magic 0x%08x", hdr[0])
+	}
+	n := int(hdr[1])
+	if n <= 0 || n > 1<<24 {
+		return nil, fmt.Errorf("dataset: implausible idx label count %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("dataset: idx label payload: %w", err)
+	}
+	labels := make([]int, n)
+	for i, b := range buf {
+		labels[i] = int(b)
+	}
+	return labels, nil
+}
+
+// LoadIDX loads an MNIST-layout directory containing the four standard
+// files (train-images-idx3-ubyte, train-labels-idx1-ubyte,
+// t10k-images-idx3-ubyte, t10k-labels-idx1-ubyte), optionally
+// gzip-compressed with a .gz suffix.
+func LoadIDX(dir, name string, numClasses int) (*Dataset, error) {
+	find := func(stem string) (io.ReadCloser, error) {
+		for _, suffix := range []string{"", ".gz"} {
+			path := filepath.Join(dir, stem+suffix)
+			if _, err := os.Stat(path); err == nil {
+				return openMaybeGzip(path)
+			}
+		}
+		return nil, fmt.Errorf("dataset: %s not found in %s", stem, dir)
+	}
+	d := &Dataset{Name: name, NumClasses: numClasses, Channels: 1}
+	for _, part := range []struct {
+		imgStem, lblStem string
+		x                **tensor.Mat
+		y                *[]int
+	}{
+		{"train-images-idx3-ubyte", "train-labels-idx1-ubyte", &d.TrainX, &d.TrainY},
+		{"t10k-images-idx3-ubyte", "t10k-labels-idx1-ubyte", &d.TestX, &d.TestY},
+	} {
+		imgR, err := find(part.imgStem)
+		if err != nil {
+			return nil, err
+		}
+		x, w, h, err := ReadIDXImages(imgR)
+		imgR.Close()
+		if err != nil {
+			return nil, err
+		}
+		lblR, err := find(part.lblStem)
+		if err != nil {
+			return nil, err
+		}
+		y, err := ReadIDXLabels(lblR)
+		lblR.Close()
+		if err != nil {
+			return nil, err
+		}
+		if len(y) != x.Rows {
+			return nil, fmt.Errorf("dataset: %d labels for %d images", len(y), x.Rows)
+		}
+		*part.x, *part.y = x, y
+		d.Width, d.Height = w, h
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// cifarRecordSize is 1 label byte + 32*32*3 pixel bytes.
+const cifarRecordSize = 1 + 3072
+
+// ReadCIFARBatch parses one CIFAR-10 binary batch, keeping only samples
+// whose label is below keepClasses (pass 10 to keep everything, 5 for
+// the paper's CIFAR5 subset).
+func ReadCIFARBatch(r io.Reader, keepClasses int) (*tensor.Mat, []int, error) {
+	var rows [][]float32
+	var labels []int
+	rec := make([]byte, cifarRecordSize)
+	for {
+		_, err := io.ReadFull(r, rec)
+		if err == io.EOF {
+			break
+		}
+		if err == io.ErrUnexpectedEOF {
+			return nil, nil, fmt.Errorf("dataset: truncated CIFAR record")
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		label := int(rec[0])
+		if label >= 10 {
+			return nil, nil, fmt.Errorf("dataset: CIFAR label %d out of range", label)
+		}
+		if label >= keepClasses {
+			continue
+		}
+		row := make([]float32, 3072)
+		for i, b := range rec[1:] {
+			row[i] = float32(b) / 255
+		}
+		rows = append(rows, row)
+		labels = append(labels, label)
+	}
+	if len(rows) == 0 {
+		return nil, nil, fmt.Errorf("dataset: empty CIFAR batch after filtering")
+	}
+	x := tensor.NewMat(len(rows), 3072)
+	for i, row := range rows {
+		copy(x.Row(i), row)
+	}
+	return x, labels, nil
+}
+
+// LoadCIFAR5 loads the CIFAR-10 binary batches from dir (data_batch_1..5
+// for training, test_batch for test) restricted to the first five
+// classes, the paper's CIFAR5 task.
+func LoadCIFAR5(dir string) (*Dataset, error) {
+	var trainParts []*tensor.Mat
+	var trainLabels []int
+	for i := 1; i <= 5; i++ {
+		f, err := openMaybeGzip(filepath.Join(dir, fmt.Sprintf("data_batch_%d.bin", i)))
+		if err != nil {
+			return nil, err
+		}
+		x, y, err := ReadCIFARBatch(f, 5)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		trainParts = append(trainParts, x)
+		trainLabels = append(trainLabels, y...)
+	}
+	total := 0
+	for _, p := range trainParts {
+		total += p.Rows
+	}
+	trainX := tensor.NewMat(total, 3072)
+	at := 0
+	for _, p := range trainParts {
+		copy(trainX.Data[at*3072:], p.Data)
+		at += p.Rows
+	}
+	f, err := openMaybeGzip(filepath.Join(dir, "test_batch.bin"))
+	if err != nil {
+		return nil, err
+	}
+	testX, testY, err := ReadCIFARBatch(f, 5)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	d := &Dataset{
+		Name: "cifar5", NumClasses: 5, Width: 32, Height: 32, Channels: 3,
+		TrainX: trainX, TrainY: trainLabels, TestX: testX, TestY: testY,
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// LoadOptdigits loads the UCI "optical recognition of handwritten
+// digits" dataset (the source of scikit-learn's digits set, which the
+// paper uses for its Fig. 1 strategy study). The format is CSV: 64
+// integer features in 0..16 followed by the class label. Standard file
+// names are optdigits.tra (train) and optdigits.tes (test).
+func LoadOptdigits(dir string) (*Dataset, error) {
+	read := func(name string) (*tensor.Mat, []int, error) {
+		f, err := openMaybeGzip(filepath.Join(dir, name))
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		return readOptdigitsCSV(f)
+	}
+	trainX, trainY, err := read("optdigits.tra")
+	if err != nil {
+		return nil, err
+	}
+	testX, testY, err := read("optdigits.tes")
+	if err != nil {
+		return nil, err
+	}
+	d := &Dataset{
+		Name: "digits", NumClasses: 10, Width: 8, Height: 8, Channels: 1,
+		TrainX: trainX, TrainY: trainY, TestX: testX, TestY: testY,
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// readOptdigitsCSV parses optdigits rows: 64 features in 0..16, label.
+func readOptdigitsCSV(r io.Reader) (*tensor.Mat, []int, error) {
+	var rows [][]float32
+	var labels []int
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != 65 {
+			return nil, nil, fmt.Errorf("dataset: optdigits line %d has %d fields, want 65", lineNo, len(fields))
+		}
+		row := make([]float32, 64)
+		for i := 0; i < 64; i++ {
+			v, err := strconv.Atoi(strings.TrimSpace(fields[i]))
+			if err != nil || v < 0 || v > 16 {
+				return nil, nil, fmt.Errorf("dataset: optdigits line %d field %d: bad value %q", lineNo, i, fields[i])
+			}
+			row[i] = float32(v) / 16
+		}
+		label, err := strconv.Atoi(strings.TrimSpace(fields[64]))
+		if err != nil || label < 0 || label > 9 {
+			return nil, nil, fmt.Errorf("dataset: optdigits line %d: bad label %q", lineNo, fields[64])
+		}
+		rows = append(rows, row)
+		labels = append(labels, label)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if len(rows) == 0 {
+		return nil, nil, fmt.Errorf("dataset: empty optdigits file")
+	}
+	x := tensor.NewMat(len(rows), 64)
+	for i, row := range rows {
+		copy(x.Row(i), row)
+	}
+	return x, labels, nil
+}

@@ -1,0 +1,107 @@
+// Package device is the measurement harness: it boots a flash image on
+// the emulated STM32F072 (Cortex-M0, 8 MHz, 128 KB flash, 16 KB SRAM),
+// feeds quantized inputs, runs inference to the BKPT halt, and reports
+// outputs, cycle counts, and latency — the emulated equivalent of the
+// paper's TIM2-based measurement loop.
+package device
+
+import (
+	"fmt"
+
+	"github.com/neuro-c/neuroc/internal/armv6m"
+	"github.com/neuro-c/neuroc/internal/modelimg"
+)
+
+// ClockHz is the paper's system clock (8 MHz, zero flash wait states).
+const ClockHz = 8_000_000
+
+// maxInstructions bounds a single inference against runaway kernels
+// (the largest deployable model is well under this).
+const maxInstructions = 200_000_000
+
+// Result is one inference measurement.
+type Result struct {
+	Output       []int8
+	Cycles       uint64
+	Instructions uint64
+}
+
+// LatencyMS converts cycles to milliseconds at the device clock.
+func (r *Result) LatencyMS() float64 {
+	return float64(r.Cycles) / float64(ClockHz) * 1000
+}
+
+// CyclesToMS converts a raw cycle count to milliseconds at ClockHz.
+func CyclesToMS(cycles uint64) float64 {
+	return float64(cycles) / float64(ClockHz) * 1000
+}
+
+// Device is a booted board holding a loaded image.
+type Device struct {
+	CPU *armv6m.CPU
+	Img *modelimg.Image
+}
+
+// New loads img into a fresh board. The returned device can run many
+// inferences; each Run resets the core but keeps flash contents.
+func New(img *modelimg.Image) (*Device, error) {
+	cpu := armv6m.New()
+	if len(img.Prog.Code) > len(cpu.Bus.Flash) {
+		return nil, fmt.Errorf("device: image (%d bytes) exceeds flash", len(img.Prog.Code))
+	}
+	cpu.Bus.LoadFlash(0, img.Prog.Code)
+	return &Device{CPU: cpu, Img: img}, nil
+}
+
+// Run executes one inference on input (length must match the model's
+// input dimension) and returns outputs and cycle counts.
+func (d *Device) Run(input []int8) (*Result, error) {
+	if len(input) != d.Img.InDim {
+		return nil, fmt.Errorf("device: input length %d, want %d", len(input), d.Img.InDim)
+	}
+	if err := d.CPU.Reset(); err != nil {
+		return nil, err
+	}
+	d.CPU.Cycles = 0
+	d.CPU.Instructions = 0
+	// Write quantized input into the SRAM input buffer.
+	for i, v := range input {
+		if err := d.CPU.Bus.Write8(d.Img.InAddr+uint32(i), uint32(uint8(v))); err != nil {
+			return nil, fmt.Errorf("device: writing input: %w", err)
+		}
+	}
+	if err := d.CPU.Run(maxInstructions); err != nil {
+		return nil, fmt.Errorf("device: inference: %w", err)
+	}
+	out := make([]int8, d.Img.OutDim)
+	for i := range out {
+		v, err := d.CPU.Bus.Read8(d.Img.OutAddr + uint32(i))
+		if err != nil {
+			return nil, fmt.Errorf("device: reading output: %w", err)
+		}
+		out[i] = int8(uint8(v))
+	}
+	return &Result{Output: out, Cycles: d.CPU.Cycles, Instructions: d.CPU.Instructions}, nil
+}
+
+// ArmSysTick arms the emulated periodic interrupt with the given period
+// in cycles (0 disables). The loaded image must have been built with an
+// ISR (modelimg.BuildOptions.ISRWorkLoops) or the first fire faults.
+func (d *Device) ArmSysTick(periodCycles int64) {
+	d.CPU.SysTick.Configure(periodCycles)
+}
+
+// Predict runs inference and returns the argmax class.
+func (d *Device) Predict(input []int8) (int, *Result, error) {
+	res, err := d.Run(input)
+	if err != nil {
+		return 0, nil, err
+	}
+	best := 0
+	for i := 1; i < len(res.Output); i++ {
+		if res.Output[i] > res.Output[best] {
+			best = i
+		}
+	}
+	return best, res, nil
+}

@@ -1,0 +1,116 @@
+package device_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/neuro-c/neuroc/internal/device"
+	"github.com/neuro-c/neuroc/internal/encoding"
+	"github.com/neuro-c/neuroc/internal/modelimg"
+	"github.com/neuro-c/neuroc/internal/quant"
+)
+
+// tinyModel builds a deterministic 4->2 ternary model.
+func tinyModel() *quant.Model {
+	a := encoding.NewMatrix(4, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, -1)
+	a.Set(1, 2, 1)
+	a.Set(1, 3, 1)
+	return &quant.Model{
+		InputScale: 127,
+		Layers: []*quant.Layer{{
+			Kind: quant.Ternary, In: 4, Out: 2, A: a,
+			PerNeuron: true, Mults: []int32{128, 64},
+			Bias: []int32{0, 1}, PreShift: 0, PostShift: 7,
+		}},
+	}
+}
+
+func TestRunMatchesReference(t *testing.T) {
+	m := tinyModel()
+	img, err := modelimg.Build(m, modelimg.UseBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := device.New(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []int8{10, 3, -5, 20}
+	res, err := dev.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.Infer(in)
+	for i := range want {
+		if res.Output[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, res.Output[i], want[i])
+		}
+	}
+	if res.Cycles == 0 || res.Instructions == 0 {
+		t.Error("no cycles counted")
+	}
+}
+
+func TestRunRejectsWrongInputLength(t *testing.T) {
+	img, _ := modelimg.Build(tinyModel(), modelimg.UseBlock)
+	dev, _ := device.New(img)
+	if _, err := dev.Run([]int8{1, 2}); err == nil || !strings.Contains(err.Error(), "input length") {
+		t.Errorf("expected input length error, got %v", err)
+	}
+}
+
+func TestPredictArgmax(t *testing.T) {
+	img, _ := modelimg.Build(tinyModel(), modelimg.UseBlock)
+	dev, _ := device.New(img)
+	// out0 = x0-x1 scaled by 128>>7=1; out1 = (x2+x3)>>1 + 1.
+	pred, _, err := dev.Predict([]int8{100, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred != 0 {
+		t.Errorf("pred = %d, want 0", pred)
+	}
+	pred, _, err = dev.Predict([]int8{0, 0, 100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred != 1 {
+		t.Errorf("pred = %d, want 1", pred)
+	}
+}
+
+func TestLatencyConversion(t *testing.T) {
+	r := &device.Result{Cycles: 8000}
+	if ms := r.LatencyMS(); ms != 1.0 {
+		t.Errorf("8000 cycles @ 8 MHz = %v ms, want 1", ms)
+	}
+	if ms := device.CyclesToMS(80_000); ms != 10.0 {
+		t.Errorf("CyclesToMS = %v", ms)
+	}
+}
+
+func TestRepeatedRunsIndependent(t *testing.T) {
+	img, _ := modelimg.Build(tinyModel(), modelimg.UseBlock)
+	dev, _ := device.New(img)
+	a, err := dev.Run([]int8{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second run with different input must not be contaminated by the
+	// first (reset + fresh SRAM writes).
+	b, err := dev.Run([]int8{4, 3, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles {
+		t.Errorf("cycle counts differ across runs: %d vs %d", a.Cycles, b.Cycles)
+	}
+	wantB := tinyModel().Infer([]int8{4, 3, 2, 1})
+	for i := range wantB {
+		if b.Output[i] != wantB[i] {
+			t.Errorf("second run out[%d] = %d, want %d", i, b.Output[i], wantB[i])
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Package energy models the energy cost of inference on ultra-low-power
+// MCUs. The paper uses inference latency as a direct proxy for energy
+// because Cortex-M0-class parts run at a fixed operating point (no
+// DVFS): energy = P_active · t_inference. This package makes the
+// conversion explicit and adds the duty-cycling arithmetic used when
+// sizing batteries for sensor nodes, so examples and reports can state
+// µJ-per-inference and battery-life numbers instead of bare
+// milliseconds.
+package energy
+
+import (
+	"fmt"
+	"time"
+)
+
+// Budget describes a device's electrical operating point.
+type Budget struct {
+	// ActiveCurrentA is the run-mode current draw in amperes.
+	ActiveCurrentA float64
+	// SleepCurrentA is the stop/standby draw between inferences.
+	SleepCurrentA float64
+	// SupplyV is the supply voltage.
+	SupplyV float64
+}
+
+// STM32F072 is the paper's target at 8 MHz from internal flash
+// (datasheet run-mode typical ≈ 250 µA/MHz, stop mode ≈ 5 µA).
+var STM32F072 = Budget{
+	ActiveCurrentA: 0.0020,
+	SleepCurrentA:  5e-6,
+	SupplyV:        3.0,
+}
+
+// ActivePowerW is the run-mode power draw.
+func (b Budget) ActivePowerW() float64 { return b.ActiveCurrentA * b.SupplyV }
+
+// SleepPowerW is the sleep-mode power draw.
+func (b Budget) SleepPowerW() float64 { return b.SleepCurrentA * b.SupplyV }
+
+// InferenceJ converts an inference latency into joules.
+func (b Budget) InferenceJ(latency time.Duration) float64 {
+	return b.ActivePowerW() * latency.Seconds()
+}
+
+// InferenceFromMS is InferenceJ for a latency in milliseconds.
+func (b Budget) InferenceFromMS(ms float64) float64 {
+	return b.ActivePowerW() * ms / 1000
+}
+
+// DutyCycle describes a periodic sense-infer-sleep loop.
+type DutyCycle struct {
+	Period    time.Duration // one full cycle
+	ActiveFor time.Duration // awake portion (inference + I/O)
+}
+
+// AveragePowerW is the mean power of the duty-cycled loop.
+func (b Budget) AveragePowerW(d DutyCycle) float64 {
+	if d.Period <= 0 || d.ActiveFor < 0 || d.ActiveFor > d.Period {
+		panic(fmt.Sprintf("energy: invalid duty cycle %+v", d))
+	}
+	frac := d.ActiveFor.Seconds() / d.Period.Seconds()
+	return b.ActivePowerW()*frac + b.SleepPowerW()*(1-frac)
+}
+
+// Battery is an energy store.
+type Battery struct {
+	CapacityMAh float64
+	NominalV    float64
+}
+
+// CR2032 is the ubiquitous 220 mAh coin cell.
+var CR2032 = Battery{CapacityMAh: 220, NominalV: 3.0}
+
+// EnergyJ is the battery's total energy.
+func (bat Battery) EnergyJ() float64 {
+	return bat.CapacityMAh / 1000 * 3600 * bat.NominalV
+}
+
+// Lifetime returns how long the battery sustains the duty-cycled load.
+func (bat Battery) Lifetime(b Budget, d DutyCycle) time.Duration {
+	p := b.AveragePowerW(d)
+	if p <= 0 {
+		return time.Duration(1<<63 - 1)
+	}
+	seconds := bat.EnergyJ() / p
+	const maxSec = float64(1<<63-1) / float64(time.Second)
+	if seconds > maxSec {
+		seconds = maxSec
+	}
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// InferencesPerJoule is a throughput-per-energy figure of merit.
+func (b Budget) InferencesPerJoule(latencyMS float64) float64 {
+	j := b.InferenceFromMS(latencyMS)
+	if j <= 0 {
+		return 0
+	}
+	return 1 / j
+}

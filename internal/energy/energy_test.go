@@ -1,0 +1,84 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestInferenceEnergy(t *testing.T) {
+	b := Budget{ActiveCurrentA: 0.002, SupplyV: 3}
+	// 6 mW for 10 ms = 60 µJ.
+	got := b.InferenceFromMS(10)
+	if math.Abs(got-60e-6) > 1e-9 {
+		t.Errorf("InferenceFromMS(10) = %v J, want 60e-6", got)
+	}
+	if d := b.InferenceJ(10 * time.Millisecond); math.Abs(d-got) > 1e-12 {
+		t.Errorf("duration and ms forms disagree: %v vs %v", d, got)
+	}
+}
+
+func TestAveragePower(t *testing.T) {
+	b := Budget{ActiveCurrentA: 0.002, SleepCurrentA: 2e-6, SupplyV: 3}
+	// 1% duty cycle: 0.01*6mW + 0.99*6µW.
+	d := DutyCycle{Period: time.Second, ActiveFor: 10 * time.Millisecond}
+	want := 0.01*0.006 + 0.99*6e-6
+	if got := b.AveragePowerW(d); math.Abs(got-want) > 1e-9 {
+		t.Errorf("AveragePowerW = %v, want %v", got, want)
+	}
+}
+
+func TestAveragePowerValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid duty cycle accepted")
+		}
+	}()
+	Budget{}.AveragePowerW(DutyCycle{Period: time.Second, ActiveFor: 2 * time.Second})
+}
+
+func TestBatteryLifetime(t *testing.T) {
+	bat := CR2032
+	if e := bat.EnergyJ(); math.Abs(e-2376) > 1 {
+		t.Errorf("CR2032 energy = %v J, want ~2376", e)
+	}
+	b := STM32F072
+	// Always-sleeping device: lifetime = energy / sleep power.
+	d := DutyCycle{Period: time.Second, ActiveFor: 0}
+	life := bat.Lifetime(b, d)
+	wantSec := bat.EnergyJ() / b.SleepPowerW()
+	if math.Abs(life.Seconds()-wantSec) > wantSec*0.01 {
+		t.Errorf("lifetime = %v s, want %v", life.Seconds(), wantSec)
+	}
+	// Duty-cycled load must live shorter than pure sleep and longer than
+	// always-on.
+	active := bat.Lifetime(b, DutyCycle{Period: time.Second, ActiveFor: time.Second})
+	duty := bat.Lifetime(b, DutyCycle{Period: time.Second, ActiveFor: 5 * time.Millisecond})
+	if !(active < duty && duty < life) {
+		t.Errorf("lifetime ordering broken: %v %v %v", active, duty, life)
+	}
+}
+
+func TestInferencesPerJoule(t *testing.T) {
+	b := Budget{ActiveCurrentA: 0.002, SupplyV: 3}
+	// 60 µJ/inference -> about 16667 inferences per joule.
+	got := b.InferencesPerJoule(10)
+	if math.Abs(got-16666.7) > 1 {
+		t.Errorf("InferencesPerJoule = %v", got)
+	}
+	if b.InferencesPerJoule(0) != 0 {
+		t.Error("zero latency should yield 0")
+	}
+}
+
+func TestPaperProxyProperty(t *testing.T) {
+	// The paper's claim: without DVFS, energy is proportional to
+	// latency. Check strict linearity across latencies.
+	b := STM32F072
+	base := b.InferenceFromMS(5)
+	for _, k := range []float64{2, 3, 10} {
+		if got := b.InferenceFromMS(5 * k); math.Abs(got-k*base) > 1e-12 {
+			t.Errorf("energy not linear in latency at k=%v", k)
+		}
+	}
+}

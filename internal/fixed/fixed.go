@@ -1,0 +1,136 @@
+// Package fixed implements the fixed-point arithmetic helpers used by the
+// quantization pipeline and by the Go reference kernels that mirror the
+// Thumb assembly kernels.
+//
+// The Neuro-C deployment pipeline (paper Sec. 4.3) stores activations as
+// int8 or int16, accumulates in int32, and requantizes with a per-layer
+// power-of-two right shift followed by saturation. Everything here is
+// integer-only, exactly as a Cortex-M0 executes it: the Go reference and
+// the emulated assembly must agree bit-for-bit, so these helpers define
+// the single source of truth for rounding and saturation behaviour.
+package fixed
+
+// Saturation bounds for the narrow integer types used on-device.
+const (
+	MaxInt8  = 127
+	MinInt8  = -128
+	MaxInt16 = 32767
+	MinInt16 = -32768
+)
+
+// SatInt8 clamps a 32-bit accumulator into int8 range.
+func SatInt8(v int32) int8 {
+	if v > MaxInt8 {
+		return MaxInt8
+	}
+	if v < MinInt8 {
+		return MinInt8
+	}
+	return int8(v)
+}
+
+// SatInt16 clamps a 32-bit accumulator into int16 range.
+func SatInt16(v int32) int16 {
+	if v > MaxInt16 {
+		return MaxInt16
+	}
+	if v < MinInt16 {
+		return MinInt16
+	}
+	return int16(v)
+}
+
+// RShiftRound performs an arithmetic right shift by n with
+// round-to-nearest (ties away from zero for positive, which is what the
+// ASRS+ADD rounding sequence in the assembly kernels computes:
+// (v + (1 << (n-1))) >> n). n == 0 returns v unchanged.
+func RShiftRound(v int32, n uint) int32 {
+	if n == 0 {
+		return v
+	}
+	return (v + 1<<(n-1)) >> n
+}
+
+// RShiftTrunc is a plain arithmetic right shift (truncation toward
+// negative infinity), matching a bare ASRS instruction.
+func RShiftTrunc(v int32, n uint) int32 { return v >> n }
+
+// ReLU32 is the branchless ReLU on a 32-bit accumulator, written the way
+// the kernel computes it (mask = v >> 31; v &^ mask) so the reference
+// matches the BICS-based assembly exactly.
+func ReLU32(v int32) int32 {
+	mask := v >> 31
+	return v &^ mask
+}
+
+// Q is a binary fixed-point format with F fractional bits stored in an
+// int32. It is used when converting trained float parameters into the
+// integer domain.
+type Q struct {
+	F uint // number of fractional bits
+}
+
+// FromFloat converts x to the fixed-point format with round-to-nearest,
+// saturating to the int32 range.
+func (q Q) FromFloat(x float64) int32 {
+	scaled := x * float64(int64(1)<<q.F)
+	switch {
+	case scaled >= float64(1<<31-1):
+		return 1<<31 - 1
+	case scaled <= float64(-(1 << 31)):
+		return -(1 << 31)
+	}
+	if scaled >= 0 {
+		return int32(scaled + 0.5)
+	}
+	return int32(scaled - 0.5)
+}
+
+// ToFloat converts the fixed-point value v back to float64.
+func (q Q) ToFloat(v int32) float64 {
+	return float64(v) / float64(int64(1)<<q.F)
+}
+
+// MulQ multiplies two fixed-point values with F fractional bits each,
+// returning a value with F fractional bits (rounded).
+func (q Q) MulQ(a, b int32) int32 {
+	prod := int64(a) * int64(b)
+	if q.F > 0 {
+		prod += 1 << (q.F - 1)
+	}
+	prod >>= q.F
+	if prod > 1<<31-1 {
+		return 1<<31 - 1
+	}
+	if prod < -(1 << 31) {
+		return -(1 << 31)
+	}
+	return int32(prod)
+}
+
+// ChooseShift picks the largest right-shift s such that scale*2^s still
+// fits the int16 multiplier range, returning the integer multiplier and
+// shift used for requantization (multiplier = round(scale * 2^s)).
+// This mirrors the per-layer export step: out = (acc * multiplier) >> s.
+func ChooseShift(scale float64, maxShift uint) (mult int32, shift uint) {
+	if scale <= 0 {
+		return 0, 0
+	}
+	shift = 0
+	for shift < maxShift {
+		m := scale * float64(int64(1)<<(shift+1))
+		if m > float64(MaxInt16) {
+			break
+		}
+		shift++
+	}
+	m := scale * float64(int64(1)<<shift)
+	mult = int32(m + 0.5)
+	if mult > MaxInt16 {
+		mult = MaxInt16
+	}
+	if mult < 1 {
+		mult = 1
+	}
+	return mult, shift
+}

@@ -1,0 +1,171 @@
+package fixed
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSatInt8(t *testing.T) {
+	cases := []struct {
+		in   int32
+		want int8
+	}{
+		{0, 0}, {127, 127}, {128, 127}, {1 << 20, 127},
+		{-128, -128}, {-129, -128}, {-(1 << 20), -128}, {5, 5}, {-5, -5},
+	}
+	for _, tc := range cases {
+		if got := SatInt8(tc.in); got != tc.want {
+			t.Errorf("SatInt8(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSatInt16(t *testing.T) {
+	cases := []struct {
+		in   int32
+		want int16
+	}{
+		{0, 0}, {32767, 32767}, {32768, 32767}, {-32768, -32768},
+		{-32769, -32768}, {1 << 30, 32767}, {-(1 << 30), -32768},
+	}
+	for _, tc := range cases {
+		if got := SatInt16(tc.in); got != tc.want {
+			t.Errorf("SatInt16(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSatPropertyWithinRangeIsIdentity(t *testing.T) {
+	f := func(v int16) bool {
+		if int32(v) >= MinInt8 && int32(v) <= MaxInt8 {
+			if int32(SatInt8(int32(v))) != int32(v) {
+				return false
+			}
+		}
+		return int32(SatInt16(int32(v))) == int32(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRShiftRound(t *testing.T) {
+	cases := []struct {
+		v    int32
+		n    uint
+		want int32
+	}{
+		{8, 2, 2}, {9, 2, 2}, {10, 2, 3}, {11, 2, 3}, {12, 2, 3},
+		{-8, 2, -2}, {-10, 2, -2}, {-11, 2, -3}, {7, 0, 7},
+		{1, 1, 1}, {-1, 1, 0},
+	}
+	for _, tc := range cases {
+		if got := RShiftRound(tc.v, tc.n); got != tc.want {
+			t.Errorf("RShiftRound(%d, %d) = %d, want %d", tc.v, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestRShiftRoundMatchesKernelSequence(t *testing.T) {
+	// The assembly computes (v + (1 << (n-1))) >> n with ADDS+ASRS; the
+	// helper must match for any value that does not overflow the add.
+	f := func(v int32, nRaw uint8) bool {
+		n := uint(nRaw%15) + 1
+		if v > 1<<30 || v < -(1<<30) {
+			return true
+		}
+		want := (v + 1<<(n-1)) >> n
+		return RShiftRound(v, n) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReLU32(t *testing.T) {
+	cases := []struct{ in, want int32 }{
+		{5, 5}, {0, 0}, {-5, 0}, {1<<31 - 1, 1<<31 - 1}, {-(1 << 31), 0}, {-1, 0},
+	}
+	for _, tc := range cases {
+		if got := ReLU32(tc.in); got != tc.want {
+			t.Errorf("ReLU32(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestReLU32PropertyMatchesBranchyReLU(t *testing.T) {
+	f := func(v int32) bool {
+		want := v
+		if v < 0 {
+			want = 0
+		}
+		return ReLU32(v) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQRoundTrip(t *testing.T) {
+	q := Q{F: 8}
+	for _, x := range []float64{0, 1, -1, 0.5, -0.5, 3.14159, -2.71828, 100.25} {
+		v := q.FromFloat(x)
+		back := q.ToFloat(v)
+		if diff := back - x; diff > 1.0/256 || diff < -1.0/256 {
+			t.Errorf("Q8 round trip of %v = %v (err %v)", x, back, diff)
+		}
+	}
+}
+
+func TestQSaturates(t *testing.T) {
+	q := Q{F: 16}
+	if got := q.FromFloat(1e12); got != 1<<31-1 {
+		t.Errorf("FromFloat(+huge) = %d, want max", got)
+	}
+	if got := q.FromFloat(-1e12); got != -(1 << 31) {
+		t.Errorf("FromFloat(-huge) = %d, want min", got)
+	}
+}
+
+func TestMulQ(t *testing.T) {
+	q := Q{F: 8}
+	a := q.FromFloat(1.5)  // 384
+	b := q.FromFloat(2.25) // 576
+	got := q.ToFloat(q.MulQ(a, b))
+	if got < 3.37 || got > 3.38 {
+		t.Errorf("1.5 * 2.25 = %v, want about 3.375", got)
+	}
+}
+
+func TestMulQNegative(t *testing.T) {
+	q := Q{F: 10}
+	a := q.FromFloat(-1.25)
+	b := q.FromFloat(4.0)
+	got := q.ToFloat(q.MulQ(a, b))
+	if got < -5.01 || got > -4.99 {
+		t.Errorf("-1.25 * 4 = %v, want -5", got)
+	}
+}
+
+func TestChooseShift(t *testing.T) {
+	for _, scale := range []float64{0.001, 0.01, 0.37, 1.0, 2.5, 100} {
+		mult, shift := ChooseShift(scale, 30)
+		if mult < 1 || mult > MaxInt16 {
+			t.Fatalf("scale %v: multiplier %d out of range", scale, mult)
+		}
+		approx := float64(mult) / float64(int64(1)<<shift)
+		rel := (approx - scale) / scale
+		if rel < -0.01 || rel > 0.01 {
+			t.Errorf("scale %v approximated by %d>>%d = %v (rel err %v)", scale, mult, shift, approx, rel)
+		}
+	}
+}
+
+func TestChooseShiftDegenerate(t *testing.T) {
+	if m, s := ChooseShift(0, 30); m != 0 || s != 0 {
+		t.Errorf("ChooseShift(0) = %d, %d", m, s)
+	}
+	if m, s := ChooseShift(-3, 30); m != 0 || s != 0 {
+		t.Errorf("ChooseShift(-3) = %d, %d", m, s)
+	}
+}

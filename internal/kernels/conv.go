@@ -1,0 +1,91 @@
+package kernels
+
+// The conv kernels implement the Fig. 2 baseline: a convolutional layer
+// executed the way lightweight MCUs must run it — an explicit im2col
+// materialization into SRAM followed by a GEMM over the flattened
+// receptive fields (paper Sec. 3.3). The im2col gather uses a
+// precomputed 16-bit source-offset table in flash (one entry per
+// materialized element), which is how a model exporter lowers the
+// stride/padding arithmetic when the core has no SIMD or addressing
+// support for it.
+
+// Im2Col returns the gather kernel. Descriptor: in = source image,
+// k0 = offset table (uint16 per element), k1 = destination matrix,
+// k2 = total element count (S²·M²).
+func Im2Col() (name, src string) {
+	name = "k_im2col"
+	src = expand(`{N}:
+	push {r4-r7, lr}
+	ldr r1, [r0, #{IN}]
+	ldr r2, [r0, #{K0}]    @ offset table
+	ldr r3, [r0, #{K1}]    @ destination
+	ldr r4, [r0, #{K2}]    @ element count
+{N}_loop:
+	ldrh r5, [r2]
+	adds r2, #2
+	ldrb r6, [r1, r5]
+	strb r6, [r3]
+	adds r3, #1
+	subs r4, #1
+	bne {N}_loop
+	pop {r4-r7, pc}
+`, map[string]int{"IN": DescIn, "K0": DescK0, "K1": DescK1, "K2": DescK2}, name)
+	return name, src
+}
+
+// ConvGEMM returns the K×(S²)×(M²) multiply kernel over the
+// materialized im2col matrix. Descriptor: k0 = filter weights (int8,
+// K rows of S²), k1 = im2col matrix (M² rows of S²), k2 = M²,
+// in_dim = S², out_dim = K, acc = K·M² int32 results laid out m-major.
+func ConvGEMM() (name, src string) {
+	name = "k_convgemm"
+	src = expand(`{N}:
+	push {r4-r7, lr}
+	mov r9, r0
+	ldr r5, [r0, #{K2}]
+	mov r12, r5            @ output-position counter (M^2)
+	ldr r5, [r0, #{K1}]
+	mov r10, r5            @ im2col row cursor
+	ldr r5, [r0, #{ACC}]
+	mov r8, r5             @ acc cursor
+{N}_m:
+	mov r0, r9
+	ldr r3, [r0, #{K0}]    @ filter cursor, reset per position
+	ldr r5, [r0, #{ODIM}]
+	mov r11, r5            @ filter counter (K)
+	ldr r5, [r0, #{IDIM}]  @ S^2
+	mov r4, r10
+{N}_k:
+	movs r1, #0
+	movs r2, #0
+{N}_s:
+	ldrsb r6, [r3, r2]
+	ldrsb r7, [r4, r2]
+	muls r6, r7, r6
+	adds r1, r1, r6
+	adds r2, #1
+	cmp r2, r5
+	blo {N}_s
+	mov r6, r8
+	str r1, [r6]
+	adds r6, #4
+	mov r8, r6
+	adds r3, r3, r5        @ next filter
+	mov r6, r11
+	subs r6, #1
+	mov r11, r6
+	bne {N}_k
+	mov r6, r10
+	adds r6, r6, r5        @ next im2col row
+	mov r10, r6
+	mov r6, r12
+	subs r6, #1
+	mov r12, r6
+	bne {N}_m
+	pop {r4-r7, pc}
+`, map[string]int{
+		"ACC": DescAcc, "IDIM": DescInDim, "ODIM": DescOutDim,
+		"K0": DescK0, "K1": DescK1, "K2": DescK2,
+	}, name)
+	return name, src
+}

@@ -1,0 +1,301 @@
+// Package kernels generates the Thumb-1 assembly inference kernels that
+// run on the emulated Cortex-M0 (paper Sec. 4). Kernels are emitted as
+// specialized subroutines per deployment — exactly what the paper's
+// model exporter does with C code — so element widths (8/16-bit indices,
+// counts, offsets) are compile-time constants, not runtime branches.
+//
+// Calling convention: r0 = pointer to the layer descriptor (layout
+// below); r1-r7 and r8-r12 are scratch; kernels return with
+// "pop {r4-r7, pc}". The accumulate kernels zero the int32 accumulator
+// array, stream the sparse structure accumulating ±x[i], and leave the
+// requantization (multiply, shifts, bias, ReLU, saturation) to the
+// shared requant kernel, which the generated entry code calls right
+// after each accumulate kernel.
+//
+// Layer descriptor layout (word offsets):
+//
+//	+0  in_ptr      int8 input activations (SRAM)
+//	+4  out_ptr     int8 output activations (SRAM)
+//	+8  acc_ptr     int32 accumulators (SRAM)
+//	+12 in_dim
+//	+16 out_dim
+//	+20 k0 ┐
+//	+24 k1 │
+//	+28 k2 │ kind-specific (see each kernel)
+//	+32 k3 │
+//	+36 k4 │
+//	+40 k5 ┘
+//	+44 mult_ptr    int16 multipliers (per neuron, or a single entry)
+//	+48 bias_ptr    int16 biases
+//	+52 pre_shift
+//	+56 post_shift
+//	+60 flags       bit0 = ReLU, bit1 = per-neuron multiplier table
+package kernels
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Descriptor field offsets and total size in bytes.
+const (
+	DescIn     = 0
+	DescOut    = 4
+	DescAcc    = 8
+	DescInDim  = 12
+	DescOutDim = 16
+	DescK0     = 20
+	DescK1     = 24
+	DescK2     = 28
+	DescK3     = 32
+	DescK4     = 36
+	DescK5     = 40
+	DescMult   = 44
+	DescBias   = 48
+	DescPre    = 52
+	DescPost   = 56
+	DescFlags  = 60
+	DescSize   = 64
+)
+
+// Flag bits in the descriptor's flags word.
+const (
+	FlagReLU      = 1 << 0
+	FlagPerNeuron = 1 << 1
+)
+
+// load emits "load element into reg from [cursor], advance cursor" for
+// the given element width (1 or 2 bytes, zero-extended).
+func load(reg, cursor string, width int) string {
+	switch width {
+	case 1:
+		return fmt.Sprintf("\tldrb %s, [%s]\n\tadds %s, #1\n", reg, cursor, cursor)
+	case 2:
+		return fmt.Sprintf("\tldrh %s, [%s]\n\tadds %s, #2\n", reg, cursor, cursor)
+	default:
+		panic(fmt.Sprintf("kernels: unsupported element width %d", width))
+	}
+}
+
+// zeroAcc emits the accumulator-clearing prologue (desc in r0,
+// clobbers r1-r3). out_dim >= 1 is a builder invariant.
+func zeroAcc(name string) string {
+	return fmt.Sprintf(`	ldr r1, [r0, #%d]
+	ldr r2, [r0, #%d]
+	movs r3, #0
+%s_zero:
+	stmia r1!, {r3}
+	subs r2, #1
+	bne %s_zero
+`, DescAcc, DescOutDim, name, name)
+}
+
+// Requant returns the shared requantization kernel. For every output
+// neuron it computes
+//
+//	out = sat8( relu?( ((acc >> pre) * M) >> post + bias ) )
+//
+// with M from the per-neuron table (flags bit1) or a single per-layer
+// multiplier held in a register. ReLU is branchless (sign-mask AND
+// select-mask), so the only data-dependent branches are the two rarely
+// taken saturation skips.
+func Requant() (name, src string) {
+	name = "k_requant"
+	tmpl := `{N}:
+	push {r4-r7, lr}
+	ldr r1, [r0, #{ACC}]   @ acc cursor
+	ldr r2, [r0, #{OUT}]   @ out cursor
+	ldr r3, [r0, #{MULT}]  @ mult ptr
+	ldr r4, [r0, #{BIAS}]  @ bias ptr
+	ldr r5, [r0, #{ODIM}]  @ neuron counter
+	ldr r6, [r0, #{PRE}]   @ pre shift
+	mov r11, r6
+	ldr r6, [r0, #{POST}]  @ post shift
+	mov r12, r6
+	ldr r6, [r0, #{FLAGS}] @ flags
+	movs r7, #{FRELU}
+	ands r7, r6
+	rsbs r7, r7            @ relu select: 0 or 0xffffffff
+	mov r10, r7
+	movs r7, #{FPN}
+	tst r6, r7
+	beq {N}_single
+{N}_tbl:
+	ldr r6, [r1]
+	adds r1, #4
+	mov r7, r11
+	asrs r6, r7            @ >>= pre
+	ldrh r7, [r3]
+	sxth r7, r7
+	adds r3, #2
+	muls r6, r7, r6
+	mov r7, r12
+	asrs r6, r7            @ >>= post
+	ldrh r7, [r4]
+	sxth r7, r7
+	adds r4, #2
+	adds r6, r6, r7        @ += bias
+	asrs r7, r6, #31
+	mov r0, r10
+	ands r7, r0
+	bics r6, r7            @ branchless gated ReLU
+	movs r7, #127
+	cmp r6, r7
+	ble {N}_tc1
+	mov r6, r7
+{N}_tc1:
+	mvns r7, r7            @ -128
+	cmp r6, r7
+	bge {N}_tc2
+	mov r6, r7
+{N}_tc2:
+	strb r6, [r2]
+	adds r2, #1
+	subs r5, #1
+	bne {N}_tbl
+	pop {r4-r7, pc}
+{N}_single:
+	ldrh r7, [r3]
+	sxth r7, r7
+	mov r9, r7             @ per-layer multiplier in a register
+{N}_sgl:
+	ldr r6, [r1]
+	adds r1, #4
+	mov r7, r11
+	asrs r6, r7
+	mov r7, r9
+	muls r6, r7, r6
+	mov r7, r12
+	asrs r6, r7
+	ldrh r7, [r4]
+	sxth r7, r7
+	adds r4, #2
+	adds r6, r6, r7
+	asrs r7, r6, #31
+	mov r0, r10
+	ands r7, r0
+	bics r6, r7
+	movs r7, #127
+	cmp r6, r7
+	ble {N}_sc1
+	mov r6, r7
+{N}_sc1:
+	mvns r7, r7
+	cmp r6, r7
+	bge {N}_sc2
+	mov r6, r7
+{N}_sc2:
+	strb r6, [r2]
+	adds r2, #1
+	subs r5, #1
+	bne {N}_sgl
+	pop {r4-r7, pc}
+`
+	src = expand(tmpl, map[string]int{
+		"ACC": DescAcc, "OUT": DescOut, "MULT": DescMult, "BIAS": DescBias,
+		"ODIM": DescOutDim, "PRE": DescPre, "POST": DescPost, "FLAGS": DescFlags,
+		"FRELU": FlagReLU, "FPN": FlagPerNeuron,
+	}, name)
+	return name, src
+}
+
+// expand substitutes {N} with the kernel name and every {KEY} with its
+// integer value.
+func expand(tmpl string, vals map[string]int, name string) string {
+	out := strings.ReplaceAll(tmpl, "{N}", name)
+	for k, v := range vals {
+		out = strings.ReplaceAll(out, "{"+k+"}", fmt.Sprintf("%d", v))
+	}
+	return out
+}
+
+// Dense returns the int8 dense-layer accumulate kernel (the MLP
+// baseline, and the GEMM stage of the conv path). k0 = weight matrix
+// pointer (int8, row-major out×in). 11 cycles per MACC on the M0.
+func Dense() (name, src string) {
+	name = "k_dense"
+	src = fmt.Sprintf(`%s:
+	push {r4-r7, lr}
+	ldr r4, [r0, #%d]      @ in ptr
+	ldr r3, [r0, #%d]      @ weight row cursor
+	ldr r5, [r0, #%d]      @ in_dim
+	ldr r6, [r0, #%d]      @ acc cursor
+	mov r8, r6
+	ldr r6, [r0, #%d]      @ out counter
+	mov r9, r6
+%s_o:
+	movs r1, #0
+	movs r2, #0
+%s_i:
+	ldrsb r6, [r3, r2]
+	ldrsb r7, [r4, r2]
+	muls r6, r7, r6
+	adds r1, r1, r6
+	adds r2, #1
+	cmp r2, r5
+	blo %s_i
+	mov r6, r8
+	str r1, [r6]
+	adds r6, #4
+	mov r8, r6
+	adds r3, r3, r5        @ next weight row
+	mov r6, r9
+	subs r6, #1
+	mov r9, r6
+	bne %s_o
+	pop {r4-r7, pc}
+`, name, DescIn, DescK0, DescInDim, DescAcc, DescOutDim, name, name, name, name)
+	return name, src
+}
+
+// passMixed emits one polarity pass of the mixed/count+absolute-index
+// traversal. op is "adds" or "subs"; cntOff/idxOff are the descriptor
+// fields holding the count and index array pointers.
+func passMixed(name, tag, op string, cntOff, idxOff, countW, idxW int) string {
+	return fmt.Sprintf(`	ldr r2, [r0, #%d]      @ acc cursor
+	ldr r3, [r0, #%d]      @ counts
+	ldr r4, [r0, #%d]      @ indices
+	ldr r5, [r0, #%d]      @ out counter
+	mov r11, r5
+%s_%sc:
+%s	ldr r7, [r2]
+	cmp r6, #0
+	beq %s_%ss
+%s_%sk:
+%s	ldrsb r5, [r1, r5]
+	%s r7, r7, r5
+	subs r6, #1
+	bne %s_%sk
+%s_%ss:
+	str r7, [r2]
+	adds r2, #4
+	mov r5, r11
+	subs r5, #1
+	mov r11, r5
+	bne %s_%sc
+`, DescAcc, cntOff, idxOff, DescOutDim,
+		name, tag,
+		load("r6", "r3", countW),
+		name, tag,
+		name, tag,
+		load("r5", "r4", idxW),
+		op,
+		name, tag,
+		name, tag,
+		name, tag)
+}
+
+// Mixed returns the mixed-encoding accumulate kernel: per-output counts
+// plus absolute indices, traversed with register-offset loads (10
+// cycles per connection). Descriptor: k0 = pos counts, k1 = pos
+// indices, k2 = neg counts, k3 = neg indices.
+func Mixed(countW, idxW int) (name, src string) {
+	name = fmt.Sprintf("k_mixed_c%d_i%d", countW, idxW)
+	src = name + ":\n\tpush {r4-r7, lr}\n" +
+		zeroAcc(name) +
+		fmt.Sprintf("\tldr r1, [r0, #%d]      @ in ptr\n", DescIn) +
+		passMixed(name, "p", "adds", DescK0, DescK1, countW, idxW) +
+		passMixed(name, "n", "subs", DescK2, DescK3, countW, idxW) +
+		"\tpop {r4-r7, pc}\n"
+	return name, src
+}

@@ -1,0 +1,116 @@
+package kernels
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/neuro-c/neuroc/internal/thumb"
+)
+
+// assembleKernel checks a kernel's text assembles standalone.
+func assembleKernel(t *testing.T, name, src string) *thumb.Program {
+	t.Helper()
+	p, err := thumb.Assemble(src, 0x0800_0010)
+	if err != nil {
+		t.Fatalf("%s does not assemble: %v\nsource:\n%s", name, err, src)
+	}
+	if _, err := p.Symbol(name); err != nil {
+		t.Fatalf("%s: entry label missing", name)
+	}
+	return p
+}
+
+func TestAllKernelVariantsAssemble(t *testing.T) {
+	type gen struct {
+		name string
+		src  string
+	}
+	var all []gen
+	add := func(name, src string) { all = append(all, gen{name, src}) }
+
+	add(Requant())
+	add(Dense())
+	add(Im2Col())
+	add(ConvGEMM())
+	for _, cw := range []int{1, 2} {
+		add(Block(cw))
+		for _, iw := range []int{1, 2} {
+			add(Mixed(cw, iw))
+			add(CSC(cw, iw)) // ptrW, idxW
+			for _, dw := range []int{1, 2} {
+				add(Delta(cw, iw, dw)) // countW, firstW, deltaW
+			}
+		}
+	}
+	seen := map[string]bool{}
+	for _, g := range all {
+		if seen[g.name] {
+			t.Errorf("duplicate kernel name %s", g.name)
+		}
+		seen[g.name] = true
+		assembleKernel(t, g.name, g.src)
+	}
+	if len(all) < 16 {
+		t.Errorf("expected at least 16 kernel variants, got %d", len(all))
+	}
+}
+
+func TestKernelNamesEncodeWidths(t *testing.T) {
+	n1, _ := Mixed(1, 2)
+	n2, _ := Mixed(2, 1)
+	if n1 == n2 {
+		t.Error("width specialization not reflected in kernel names")
+	}
+}
+
+func TestKernelsSaveAndRestoreCalleeRegs(t *testing.T) {
+	// Every kernel must push r4-r7+lr and return via pop {r4-r7, pc}.
+	for _, src := range []string{
+		second(Requant()), second(Dense()), second(Mixed(1, 1)),
+		second(CSC(1, 1)), second(Delta(1, 1, 1)), second(Block(1)),
+		second(Im2Col()), second(ConvGEMM()),
+	} {
+		if !strings.Contains(src, "push {r4-r7, lr}") {
+			t.Error("kernel missing callee-save prologue")
+		}
+		if !strings.Contains(src, "pop {r4-r7, pc}") {
+			t.Error("kernel missing epilogue")
+		}
+	}
+}
+
+func second(_, src string) string { return src }
+
+func TestLoadHelperWidths(t *testing.T) {
+	if !strings.Contains(load("r1", "r2", 1), "ldrb r1, [r2]") {
+		t.Error("width-1 load wrong")
+	}
+	if !strings.Contains(load("r1", "r2", 2), "ldrh r1, [r2]") {
+		t.Error("width-2 load wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("width 3 accepted")
+		}
+	}()
+	load("r1", "r2", 3)
+}
+
+func TestDescriptorLayoutConstants(t *testing.T) {
+	// The descriptor is 16 consecutive words.
+	offsets := []int{DescIn, DescOut, DescAcc, DescInDim, DescOutDim,
+		DescK0, DescK1, DescK2, DescK3, DescK4, DescK5,
+		DescMult, DescBias, DescPre, DescPost, DescFlags}
+	for i, off := range offsets {
+		if off != i*4 {
+			t.Errorf("descriptor field %d at offset %d, want %d", i, off, i*4)
+		}
+	}
+	if DescSize != len(offsets)*4 {
+		t.Errorf("DescSize = %d, want %d", DescSize, len(offsets)*4)
+	}
+	// All offsets must be reachable by "ldr rN, [r0, #off]" (<= 124).
+	if DescFlags > 124 {
+		t.Error("descriptor exceeds immediate-offset addressing range")
+	}
+}

@@ -1,0 +1,215 @@
+package kernels
+
+import "fmt"
+
+// passCSC emits one polarity pass of the CSC traversal. The pointer
+// array holds cumulative nonzero counts (p[0] = 0 implicit: the cursor
+// starts at p[1]); each column's end address is idx_base + p[o+1]·width,
+// and the inner loop is the natural bounds-checked while-form.
+func passCSC(name, tag, op string, ptrOff, idxOff, ptrW, idxW int) string {
+	scale := ""
+	if idxW == 2 {
+		scale = "\tlsls r6, r6, #1\n"
+	}
+	return fmt.Sprintf(`	ldr r2, [r0, #%d]      @ acc cursor
+	ldr r3, [r0, #%d]      @ pointer array, skipping p[0] == 0
+	adds r3, #%d
+	ldr r5, [r0, #%d]      @ index array base
+	mov r8, r5
+	mov r4, r5             @ index cursor
+	ldr r5, [r0, #%d]
+	mov r11, r5            @ out counter
+%s_%sc:
+%s%s	add r6, r8             @ column end address
+	ldr r7, [r2]
+%s_%sk:
+	cmp r4, r6
+	bhs %s_%ss
+%s	ldrsb r5, [r1, r5]
+	%s r7, r7, r5
+	b %s_%sk
+%s_%ss:
+	str r7, [r2]
+	adds r2, #4
+	mov r5, r11
+	subs r5, #1
+	mov r11, r5
+	bne %s_%sc
+`, DescAcc, ptrOff, ptrW, idxOff, DescOutDim,
+		name, tag,
+		load("r6", "r3", ptrW), scale,
+		name, tag,
+		name, tag,
+		load("r5", "r4", idxW),
+		op,
+		name, tag,
+		name, tag,
+		name, tag)
+}
+
+// CSC returns the baseline CSC accumulate kernel. Descriptor: k0 = pos
+// pointer array (out+1 entries of cumulative counts, starting with 0;
+// the kernel skips the leading zero), k1 = pos indices, k2 = neg
+// pointers, k3 = neg indices.
+func CSC(ptrW, idxW int) (name, src string) {
+	name = fmt.Sprintf("k_csc_p%d_i%d", ptrW, idxW)
+	src = name + ":\n\tpush {r4-r7, lr}\n" +
+		zeroAcc(name) +
+		fmt.Sprintf("\tldr r1, [r0, #%d]      @ in ptr\n", DescIn) +
+		passCSC(name, "p", "adds", DescK0, DescK1, ptrW, idxW) +
+		passCSC(name, "n", "subs", DescK2, DescK3, ptrW, idxW) +
+		"\tpop {r4-r7, pc}\n"
+	return name, src
+}
+
+// passDelta emits one polarity pass of the delta traversal (paper
+// Fig. 4): the first index of each column is absolute, subsequent
+// connections advance a moving input pointer by stored offsets.
+// The descriptor pointer lives in r9 for the duration of the kernel.
+func passDelta(name, tag, op string, cntOff, firstOff, deltaOff, cw, fw, dw int) string {
+	return fmt.Sprintf(`	mov r0, r9
+	ldr r6, [r0, #%d]      @ counts cursor
+	ldr r5, [r0, #%d]      @ firsts cursor
+	mov r10, r5
+	ldr r2, [r0, #%d]      @ deltas cursor
+	ldr r7, [r0, #%d]      @ acc cursor
+	ldr r1, [r0, #%d]      @ in base
+	mov r8, r1
+	ldr r5, [r0, #%d]
+	mov r11, r5            @ out counter
+%s_%sc:
+%s	ldr r4, [r7]
+	cmp r3, #0
+	beq %s_%ss
+	mov r5, r10
+%s	mov r10, r5
+	add r1, r8             @ moving pointer = in + first
+	movs r5, #0
+	ldrsb r0, [r1, r5]
+	%s r4, r4, r0
+	subs r3, #1
+	beq %s_%ss
+%s_%sk:
+%s	ldrsb r0, [r1, r5]     @ x[ptr + delta]
+	adds r1, r1, r5        @ advance the moving pointer
+	%s r4, r4, r0
+	subs r3, #1
+	bne %s_%sk
+%s_%ss:
+	str r4, [r7]
+	adds r7, #4
+	mov r5, r11
+	subs r5, #1
+	mov r11, r5
+	bne %s_%sc
+`, cntOff, firstOff, deltaOff, DescAcc, DescIn, DescOutDim,
+		name, tag,
+		load("r3", "r6", cw),
+		name, tag,
+		load("r1", "r5", fw),
+		op,
+		name, tag,
+		name, tag,
+		load("r5", "r2", dw),
+		op,
+		name, tag,
+		name, tag,
+		name, tag)
+}
+
+// Delta returns the delta-offset accumulate kernel. Descriptor: k0 =
+// pos counts, k1 = pos firsts, k2 = pos deltas, k3 = neg counts, k4 =
+// neg firsts, k5 = neg deltas.
+func Delta(countW, firstW, deltaW int) (name, src string) {
+	name = fmt.Sprintf("k_delta_c%d_f%d_d%d", countW, firstW, deltaW)
+	src = name + ":\n\tpush {r4-r7, lr}\n\tmov r9, r0\n" +
+		zeroAcc(name) +
+		passDelta(name, "p", "adds", DescK0, DescK1, DescK2, countW, firstW, deltaW) +
+		passDelta(name, "n", "subs", DescK3, DescK4, DescK5, countW, firstW, deltaW) +
+		"\tpop {r4-r7, pc}\n"
+	return name, src
+}
+
+// passBlockColumns emits the per-column loop of one polarity inside one
+// block: r1 = block input base, r2 = acc cursor, r3 = counts cursor,
+// r4 = index cursor (8-bit block-local), r11 = out counter.
+func passBlockColumns(name, tag, op string, cw int) string {
+	return fmt.Sprintf(`%s_%sc:
+%s	ldr r7, [r2]
+	cmp r6, #0
+	beq %s_%ss
+%s_%sk:
+	ldrb r5, [r4]
+	adds r4, #1
+	ldrsb r5, [r1, r5]
+	%s r7, r7, r5
+	subs r6, #1
+	bne %s_%sk
+%s_%ss:
+	str r7, [r2]
+	adds r2, #4
+	mov r5, r11
+	subs r5, #1
+	mov r11, r5
+	bne %s_%sc
+`, name, tag,
+		load("r6", "r3", cw),
+		name, tag,
+		name, tag,
+		op,
+		name, tag,
+		name, tag,
+		name, tag)
+}
+
+// Block returns the block-partitioned accumulate kernel (the deployed
+// Neuro-C default). Descriptor: k0 = number of blocks, k1 = pointer to
+// the block record table; each record is five words:
+//
+//	{ input_base_offset, pos_counts, pos_indices, neg_counts, neg_indices }
+//
+// Indices are block-local and always 8-bit by construction.
+func Block(countW int) (name, src string) {
+	name = fmt.Sprintf("k_block_c%d", countW)
+	src = fmt.Sprintf(`%s:
+	push {r4-r7, lr}
+	mov r9, r0
+%s	ldr r1, [r0, #%d]
+	mov r12, r1            @ block counter
+	ldr r1, [r0, #%d]
+	mov r10, r1            @ block record cursor
+%s_blk:
+	mov r5, r10
+	ldmia r5!, {r1, r3, r4}  @ base_off, pos counts, pos indices
+	mov r10, r5
+	mov r0, r9
+	ldr r2, [r0, #%d]
+	adds r1, r1, r2        @ block input base
+	mov r8, r1
+	ldr r2, [r0, #%d]      @ acc cursor
+	ldr r5, [r0, #%d]
+	mov r11, r5
+%s	mov r5, r10
+	ldmia r5!, {r3, r4}    @ neg counts, neg indices
+	mov r10, r5
+	mov r0, r9
+	ldr r2, [r0, #%d]
+	ldr r5, [r0, #%d]
+	mov r11, r5
+	mov r1, r8
+%s	mov r5, r12
+	subs r5, #1
+	mov r12, r5
+	bne %s_blk
+	pop {r4-r7, pc}
+`, name,
+		zeroAcc(name),
+		DescK0, DescK1,
+		name,
+		DescIn, DescAcc, DescOutDim,
+		passBlockColumns(name, "p", "adds", countW),
+		DescAcc, DescOutDim,
+		passBlockColumns(name, "n", "subs", countW),
+		name)
+	return name, src
+}

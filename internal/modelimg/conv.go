@@ -1,0 +1,191 @@
+package modelimg
+
+import (
+	"fmt"
+
+	"github.com/neuro-c/neuroc/internal/armv6m"
+	"github.com/neuro-c/neuroc/internal/fixed"
+	"github.com/neuro-c/neuroc/internal/kernels"
+	"github.com/neuro-c/neuroc/internal/rng"
+	"github.com/neuro-c/neuroc/internal/thumb"
+)
+
+// ConvSpec describes the Fig. 2 convolution experiment: a single valid
+// (no padding, stride 1) convolution of K S×S filters over an N×N
+// single-channel int8 image, executed as im2col + GEMM as lightweight
+// MCUs must (paper Sec. 3.3).
+type ConvSpec struct {
+	N, S, K int
+	Seed    uint64
+}
+
+// M returns the output spatial size N-S+1.
+func (c ConvSpec) M() int { return c.N - c.S + 1 }
+
+// MACCs returns the multiply-accumulate count K·S²·M².
+func (c ConvSpec) MACCs() int { return c.K * c.S * c.S * c.M() * c.M() }
+
+// ConvImage is a built conv experiment image plus the data needed to
+// verify it against the Go reference.
+type ConvImage struct {
+	Image
+	Spec    ConvSpec
+	Weights []int8 // K rows of S² filter taps
+	Pre     uint
+	Post    uint
+	Mult    int32
+}
+
+// RefConv computes the bit-exact expected output of the device conv
+// program for the given input image.
+func (c *ConvImage) RefConv(in []int8) []int8 {
+	s2 := c.Spec.S * c.Spec.S
+	m := c.Spec.M()
+	out := make([]int8, c.Spec.K*m*m)
+	o := 0
+	for my := 0; my < m; my++ {
+		for mx := 0; mx < m; mx++ {
+			for k := 0; k < c.Spec.K; k++ {
+				var acc int32
+				for ky := 0; ky < c.Spec.S; ky++ {
+					for kx := 0; kx < c.Spec.S; kx++ {
+						w := c.Weights[k*s2+ky*c.Spec.S+kx]
+						x := in[(my+ky)*c.Spec.N+(mx+kx)]
+						acc += int32(w) * int32(x)
+					}
+				}
+				t := fixed.RShiftTrunc(acc, c.Pre) * c.Mult
+				t = fixed.RShiftTrunc(t, c.Post)
+				out[o] = fixed.SatInt8(t)
+				o++
+			}
+		}
+	}
+	return out
+}
+
+// BuildConv generates, assembles, and sizes the conv experiment image.
+func BuildConv(spec ConvSpec) (*ConvImage, error) {
+	if spec.S >= spec.N || spec.S < 1 || spec.K < 1 {
+		return nil, fmt.Errorf("modelimg: bad conv spec %+v", spec)
+	}
+	m := spec.M()
+	s2 := spec.S * spec.S
+	nIn := spec.N * spec.N
+	nCol := s2 * m * m
+	nOut := spec.K * m * m
+
+	// SRAM layout: input image, im2col matrix, int32 accs, int8 out.
+	align4 := func(v int) int { return (v + 3) &^ 3 }
+	inBuf := int(armv6m.SRAMBase)
+	colBuf := inBuf + align4(nIn)
+	accBuf := colBuf + align4(nCol)
+	outBuf := accBuf + 4*nOut
+	end := outBuf + align4(nOut) + 1024
+	if end > int(armv6m.SRAMBase)+armv6m.SRAMSize {
+		return nil, &ErrNotDeployable{What: "conv SRAM", Need: end - int(armv6m.SRAMBase), Have: armv6m.SRAMSize}
+	}
+
+	// Random filter taps.
+	r := rng.New(spec.Seed + 0xC0)
+	weights := make([]int8, spec.K*s2)
+	for i := range weights {
+		weights[i] = int8(r.Intn(255) - 127)
+	}
+
+	// Offset table: source offset for each materialized element, laid
+	// out m-major so the GEMM streams rows.
+	offsets := make([]int, nCol)
+	p := 0
+	for my := 0; my < m; my++ {
+		for mx := 0; mx < m; mx++ {
+			for ky := 0; ky < spec.S; ky++ {
+				for kx := 0; kx < spec.S; kx++ {
+					offsets[p] = (my+ky)*spec.N + (mx + kx)
+					p++
+				}
+			}
+		}
+	}
+
+	// Requantization constants: bound |acc| <= 127·127·S².
+	accBound := int64(127) * 127 * int64(s2)
+	var pre uint
+	for accBound>>pre > 0xffff {
+		pre++
+	}
+	const post, mult = 8, 256
+
+	b := &builder{seen: make(map[string]bool)}
+	i2cName, i2cSrc := kernels.Im2Col()
+	b.kernel(i2cName, i2cSrc)
+	gemmName, gemmSrc := kernels.ConvGEMM()
+	b.kernel(gemmName, gemmSrc)
+	rqName, rqSrc := kernels.Requant()
+	b.kernel(rqName, rqSrc)
+
+	b.emitInt8s("conv_w", weights)
+	b.emitUints("conv_off", offsets, 2)
+	b.emitInt16s("conv_mult", []int32{mult})
+	b.emitInt16s("conv_bias", make([]int32, nOut))
+	fmt.Fprintf(&b.data, `	.align 4
+conv_i2c_desc:
+	.word 0x%08x, 0, 0, 0, 0
+	.word conv_off, 0x%08x, %d, 0, 0, 0
+	.word 0, 0, 0, 0, 0
+conv_gemm_desc:
+	.word 0, 0, 0x%08x, %d, %d
+	.word conv_w, 0x%08x, %d, 0, 0, 0
+	.word 0, 0, 0, 0, 0
+conv_rq_desc:
+	.word 0, 0x%08x, 0x%08x, 0, %d
+	.word 0, 0, 0, 0, 0, 0
+	.word conv_mult, conv_bias, %d, %d, 0
+`, inBuf, colBuf, nCol,
+		accBuf, s2, spec.K, colBuf, m*m,
+		outBuf, accBuf, nOut, pre, post)
+
+	asm := fmt.Sprintf(`	.word 0x%08x
+	.word entry + 1
+entry:
+	ldr r0, =conv_i2c_desc
+	bl %s
+	ldr r0, =conv_gemm_desc
+	bl %s
+	ldr r0, =conv_rq_desc
+	bl %s
+	bkpt #0
+	.pool
+%s	.align 4
+data_start:
+%s`, armv6m.SRAMBase+armv6m.SRAMSize, i2cName, gemmName, rqName, b.code.String(), b.data.String())
+
+	prog, err := thumb.Assemble(asm, armv6m.FlashBase)
+	if err != nil {
+		return nil, fmt.Errorf("modelimg: assembling conv image: %w", err)
+	}
+	if len(prog.Code) > armv6m.FlashSize {
+		return nil, &ErrNotDeployable{What: "conv image", Need: len(prog.Code), Have: armv6m.FlashSize}
+	}
+	dataStart, err := prog.Symbol("data_start")
+	if err != nil {
+		return nil, err
+	}
+	return &ConvImage{
+		Image: Image{
+			Prog:      prog,
+			InAddr:    uint32(inBuf),
+			OutAddr:   uint32(outBuf),
+			InDim:     nIn,
+			OutDim:    nOut,
+			CodeBytes: int(dataStart - armv6m.FlashBase),
+			DataBytes: len(prog.Code) - int(dataStart-armv6m.FlashBase),
+			Asm:       asm,
+		},
+		Spec:    spec,
+		Weights: weights,
+		Pre:     pre,
+		Post:    post,
+		Mult:    mult,
+	}, nil
+}

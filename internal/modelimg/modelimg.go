@@ -1,0 +1,426 @@
+// Package modelimg builds complete flash images for the emulated
+// Cortex-M0: a vector table, generated entry code that runs each layer
+// (accumulate kernel then requant kernel) and halts with BKPT, the
+// specialized kernel subroutines, and the model's descriptor and
+// parameter tables. The image is emitted as one assembly program and
+// assembled with the thumb package, so the reported program-memory
+// footprint is the exact byte size of the image — the same "statically
+// linked sections containing weights and inference code" metric the
+// paper reports.
+//
+// SRAM layout: two ping-pong int8 activation buffers sized to the
+// widest layer, one int32 accumulator buffer sized to the widest output,
+// and the stack at the top of SRAM. The host writes the quantized input
+// into the first activation buffer before running.
+package modelimg
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/neuro-c/neuroc/internal/armv6m"
+	"github.com/neuro-c/neuroc/internal/encoding"
+	"github.com/neuro-c/neuroc/internal/kernels"
+	"github.com/neuro-c/neuroc/internal/quant"
+	"github.com/neuro-c/neuroc/internal/thumb"
+)
+
+// EncodingChoice selects the adjacency encoding used for ternary layers.
+type EncodingChoice int
+
+// Encoding choices, matching the paper's four schemes. The paper deploys
+// Block (Sec. 4.3); the others exist for the Fig. 5 comparison.
+const (
+	UseBlock EncodingChoice = iota
+	UseCSC
+	UseDelta
+	UseMixed
+)
+
+// String names the choice.
+func (e EncodingChoice) String() string {
+	switch e {
+	case UseBlock:
+		return "block"
+	case UseCSC:
+		return "csc"
+	case UseDelta:
+		return "delta"
+	case UseMixed:
+		return "mixed"
+	default:
+		return fmt.Sprintf("encoding(%d)", int(e))
+	}
+}
+
+// ErrNotDeployable is returned when the image exceeds the device flash
+// or the buffers exceed SRAM — the paper's "non-deployable" condition.
+type ErrNotDeployable struct {
+	What string
+	Need int
+	Have int
+}
+
+func (e *ErrNotDeployable) Error() string {
+	return fmt.Sprintf("modelimg: not deployable: %s needs %d bytes, device has %d", e.What, e.Need, e.Have)
+}
+
+// Image is a built flash image ready to load.
+type Image struct {
+	Prog *thumb.Program
+
+	// InAddr is the SRAM address of the input activation buffer and
+	// OutAddr the address of the final layer's output buffer.
+	InAddr, OutAddr uint32
+	InDim, OutDim   int
+
+	// CodeBytes is the size of vector table, entry, and kernel code;
+	// DataBytes the size of descriptors and parameter tables. Their sum
+	// is the program-memory footprint.
+	CodeBytes, DataBytes int
+
+	// Asm is the generated source, kept for debugging and listings.
+	Asm string
+}
+
+// TotalBytes is the program-memory footprint (flash bytes).
+func (img *Image) TotalBytes() int { return len(img.Prog.Code) }
+
+// builder accumulates the assembly program.
+type builder struct {
+	code strings.Builder // entry + kernels
+	data strings.Builder // descriptors + tables
+	seen map[string]bool // emitted kernel names
+}
+
+func (b *builder) kernel(name, src string) string {
+	if !b.seen[name] {
+		b.seen[name] = true
+		b.code.WriteString(src)
+	}
+	return name
+}
+
+// BuildOptions extends Build with deployment details beyond the
+// encoding choice.
+type BuildOptions struct {
+	Encoding EncodingChoice
+	// ISRWorkLoops, when positive, installs a SysTick handler that
+	// burns the given number of loop iterations (simulated sensor-ISR
+	// work) before returning — used by the preemption experiments. The
+	// handler only runs if the host arms the emulated SysTick.
+	ISRWorkLoops int
+	// MaskIRQDuringInference wraps the inference sequence in
+	// CPSID i / CPSIE i, the paper's "defer interrupts predictably"
+	// strategy: latency stays undisturbed, interrupts run afterwards.
+	MaskIRQDuringInference bool
+}
+
+// Build generates and assembles the flash image for model using enc for
+// every ternary layer. Dense layers always use the int8 dense kernel.
+func Build(model *quant.Model, enc EncodingChoice) (*Image, error) {
+	return BuildOpts(model, BuildOptions{Encoding: enc})
+}
+
+// BuildOpts is Build with full options.
+func BuildOpts(model *quant.Model, opts BuildOptions) (*Image, error) {
+	enc := opts.Encoding
+	if len(model.Layers) == 0 {
+		return nil, fmt.Errorf("modelimg: empty model")
+	}
+
+	// SRAM layout.
+	maxDim := 0
+	maxOut := 0
+	for _, l := range model.Layers {
+		if l.In > maxDim {
+			maxDim = l.In
+		}
+		if l.Out > maxDim {
+			maxDim = l.Out
+		}
+		if l.Out > maxOut {
+			maxOut = l.Out
+		}
+	}
+	align4 := func(v int) int { return (v + 3) &^ 3 }
+	bufA := int(armv6m.SRAMBase)
+	bufB := bufA + align4(maxDim)
+	accBuf := bufB + align4(maxDim)
+	heapEnd := accBuf + 4*maxOut
+	const stackReserve = 1024
+	if heapEnd+stackReserve > int(armv6m.SRAMBase)+armv6m.SRAMSize {
+		return nil, &ErrNotDeployable{
+			What: "SRAM buffers",
+			Need: heapEnd - int(armv6m.SRAMBase) + stackReserve,
+			Have: armv6m.SRAMSize,
+		}
+	}
+
+	b := &builder{seen: make(map[string]bool)}
+	requantName, requantSrc := kernels.Requant()
+	b.kernel(requantName, requantSrc)
+
+	// Entry code: one accumulate + requant call per layer, then halt.
+	var entry strings.Builder
+	entry.WriteString("entry:\n")
+	if opts.MaskIRQDuringInference {
+		entry.WriteString("\tcpsid i\n")
+	}
+	inAddr := bufA
+	for i, l := range model.Layers {
+		outAddr := bufB
+		if inAddr == bufB {
+			outAddr = bufA
+		}
+		descLabel := fmt.Sprintf("desc%d", i)
+		kname, err := b.emitLayer(l, enc, descLabel, uint32(inAddr), uint32(outAddr), uint32(accBuf), i)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&entry, "\tldr r0, =%s\n\tbl %s\n", descLabel, kname)
+		fmt.Fprintf(&entry, "\tldr r0, =%s\n\tbl %s\n", descLabel, requantName)
+		inAddr = outAddr
+	}
+	if opts.MaskIRQDuringInference {
+		// Unmask and give a deferred interrupt a chance to run before
+		// the measurement stops.
+		entry.WriteString("\tcpsie i\n\tnop\n\tnop\n")
+	}
+	entry.WriteString("\tbkpt #0\n\t.pool\n")
+
+	// Vector table: SP, reset, 13 reserved slots, SysTick (slot 15).
+	systickVec := "0"
+	isr := ""
+	if opts.ISRWorkLoops > 0 {
+		systickVec = "systick_handler + 1"
+		loops := opts.ISRWorkLoops
+		shift := 0
+		for loops > 255 {
+			loops = (loops + 1) / 2
+			shift++
+		}
+		isr = fmt.Sprintf(`systick_handler:
+	movs r0, #%d
+`, loops)
+		if shift > 0 {
+			isr += fmt.Sprintf("\tlsls r0, r0, #%d\n", shift)
+		}
+		isr += `sth_loop:
+	subs r0, #1
+	bne sth_loop
+	bx lr
+`
+	}
+
+	last := model.Layers[len(model.Layers)-1]
+	asm := fmt.Sprintf(`	.word 0x%08x          @ initial SP
+	.word entry + 1        @ reset vector
+	.word 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0
+	.word %s               @ SysTick (slot 15)
+%s%s%s	.align 4
+data_start:
+%s`, armv6m.SRAMBase+armv6m.SRAMSize, systickVec, entry.String(), isr, b.code.String(), b.data.String())
+
+	prog, err := thumb.Assemble(asm, armv6m.FlashBase)
+	if err != nil {
+		return nil, fmt.Errorf("modelimg: assembling image: %w", err)
+	}
+	if len(prog.Code) > armv6m.FlashSize {
+		return nil, &ErrNotDeployable{What: "flash image", Need: len(prog.Code), Have: armv6m.FlashSize}
+	}
+	dataStart, err := prog.Symbol("data_start")
+	if err != nil {
+		return nil, err
+	}
+	img := &Image{
+		Prog:      prog,
+		InAddr:    uint32(bufA),
+		OutAddr:   0,
+		InDim:     model.Layers[0].In,
+		OutDim:    last.Out,
+		CodeBytes: int(dataStart - armv6m.FlashBase),
+		DataBytes: len(prog.Code) - int(dataStart-armv6m.FlashBase),
+		Asm:       asm,
+	}
+	// Output buffer of the final layer: ping-pong parity.
+	out := bufB
+	if len(model.Layers)%2 == 0 {
+		out = bufA
+	}
+	img.OutAddr = uint32(out)
+	return img, nil
+}
+
+// emitLayer appends the layer's kernel (if new), descriptor, and tables;
+// it returns the accumulate kernel name to call.
+func (b *builder) emitLayer(l *quant.Layer, enc EncodingChoice, descLabel string, in, out, acc uint32, idx int) (string, error) {
+	flags := 0
+	if l.ReLU {
+		flags |= kernels.FlagReLU
+	}
+	if l.PerNeuron {
+		flags |= kernels.FlagPerNeuron
+	}
+	p := fmt.Sprintf("l%d", idx)
+
+	var kname string
+	var k [6]string // descriptor k0..k5 expressions
+	switch l.Kind {
+	case quant.DenseK:
+		name, src := kernels.Dense()
+		kname = b.kernel(name, src)
+		wLabel := p + "_w"
+		b.emitInt8s(wLabel, l.W)
+		k[0] = wLabel
+
+	case quant.Ternary:
+		switch enc {
+		case UseBlock:
+			e := encoding.EncodeBlock(l.A, 0)
+			name, src := kernels.Block(e.CountWidth)
+			kname = b.kernel(name, src)
+			// Block record table.
+			var recs strings.Builder
+			for bi := range e.Blocks {
+				blk := e.Block(bi)
+				pc := fmt.Sprintf("%s_b%d_pc", p, bi)
+				pi := fmt.Sprintf("%s_b%d_pi", p, bi)
+				nc := fmt.Sprintf("%s_b%d_nc", p, bi)
+				ni := fmt.Sprintf("%s_b%d_ni", p, bi)
+				b.emitUints(pc, blk.PosCounts, e.CountWidth)
+				b.emitUints(pi, blk.PosIndices, 1)
+				b.emitUints(nc, blk.NegCounts, e.CountWidth)
+				b.emitUints(ni, blk.NegIndices, 1)
+				fmt.Fprintf(&recs, "\t.word %d, %s, %s, %s, %s\n", bi*e.BlockSize, pc, pi, nc, ni)
+			}
+			tbl := p + "_blocks"
+			b.data.WriteString("\t.align 4\n" + tbl + ":\n" + recs.String())
+			k[0] = fmt.Sprintf("%d", len(e.Blocks))
+			k[1] = tbl
+
+		case UseCSC:
+			e := encoding.EncodeCSC(l.A)
+			name, src := kernels.CSC(e.PtrWidth, e.IdxWidth)
+			kname = b.kernel(name, src)
+			b.emitUints(p+"_pp", e.Pos.Pointers, e.PtrWidth)
+			b.emitUints(p+"_pi", e.Pos.Indices, e.IdxWidth)
+			b.emitUints(p+"_np", e.Neg.Pointers, e.PtrWidth)
+			b.emitUints(p+"_ni", e.Neg.Indices, e.IdxWidth)
+			k[0], k[1], k[2], k[3] = p+"_pp", p+"_pi", p+"_np", p+"_ni"
+
+		case UseDelta:
+			e := encoding.EncodeDelta(l.A)
+			name, src := kernels.Delta(e.CountWidth, e.FirstWidth, e.DeltaWidth)
+			kname = b.kernel(name, src)
+			b.emitUints(p+"_pc", e.Pos.Counts, e.CountWidth)
+			b.emitUints(p+"_pf", e.Pos.Firsts, e.FirstWidth)
+			b.emitUints(p+"_pd", e.Pos.Deltas, e.DeltaWidth)
+			b.emitUints(p+"_nc", e.Neg.Counts, e.CountWidth)
+			b.emitUints(p+"_nf", e.Neg.Firsts, e.FirstWidth)
+			b.emitUints(p+"_nd", e.Neg.Deltas, e.DeltaWidth)
+			k[0], k[1], k[2] = p+"_pc", p+"_pf", p+"_pd"
+			k[3], k[4], k[5] = p+"_nc", p+"_nf", p+"_nd"
+
+		case UseMixed:
+			e := encoding.EncodeMixed(l.A)
+			name, src := kernels.Mixed(e.CountWidth, e.IdxWidth)
+			kname = b.kernel(name, src)
+			b.emitUints(p+"_pc", e.Pos.Counts, e.CountWidth)
+			b.emitUints(p+"_pi", e.Pos.Indices, e.IdxWidth)
+			b.emitUints(p+"_nc", e.Neg.Counts, e.CountWidth)
+			b.emitUints(p+"_ni", e.Neg.Indices, e.IdxWidth)
+			k[0], k[1], k[2], k[3] = p+"_pc", p+"_pi", p+"_nc", p+"_ni"
+
+		default:
+			return "", fmt.Errorf("modelimg: unknown encoding %v", enc)
+		}
+	default:
+		return "", fmt.Errorf("modelimg: unknown layer kind %v", l.Kind)
+	}
+
+	// Multiplier and bias tables (int16).
+	b.emitInt16s(p+"_mult", l.Mults)
+	b.emitInt16s(p+"_bias", l.Bias)
+
+	// Descriptor.
+	for i, v := range k {
+		if v == "" {
+			k[i] = "0"
+		}
+	}
+	fmt.Fprintf(&b.data, `	.align 4
+%s:
+	.word 0x%08x, 0x%08x, 0x%08x, %d, %d
+	.word %s, %s, %s, %s, %s, %s
+	.word %s, %s, %d, %d, %d
+`, descLabel, in, out, acc, l.In, l.Out,
+		k[0], k[1], k[2], k[3], k[4], k[5],
+		p+"_mult", p+"_bias", l.PreShift, l.PostShift, flags)
+	return kname, nil
+}
+
+// emitInt8s writes a labeled .byte table of signed bytes.
+func (b *builder) emitInt8s(label string, vals []int8) {
+	fmt.Fprintf(&b.data, "%s:\n", label)
+	writeList(&b.data, ".byte", len(vals), func(i int) int64 { return int64(uint8(vals[i])) })
+}
+
+// emitInt16s writes a labeled 2-aligned .hword table of signed values.
+func (b *builder) emitInt16s(label string, vals []int32) {
+	fmt.Fprintf(&b.data, "\t.align 2\n%s:\n", label)
+	writeList(&b.data, ".hword", len(vals), func(i int) int64 { return int64(uint16(int16(vals[i]))) })
+}
+
+// emitUints writes a labeled table of unsigned values at the given
+// element width.
+func (b *builder) emitUints(label string, vals []int, width int) {
+	dir := ".byte"
+	if width == 2 {
+		dir = ".hword"
+		fmt.Fprintf(&b.data, "\t.align 2\n")
+	}
+	fmt.Fprintf(&b.data, "%s:\n", label)
+	writeList(&b.data, dir, len(vals), func(i int) int64 { return int64(vals[i]) })
+}
+
+// writeList emits a directive list 16 values per line; empty tables
+// emit nothing (label still present, harmlessly aliasing what follows).
+func writeList(sb *strings.Builder, dir string, n int, at func(int) int64) {
+	for i := 0; i < n; i += 16 {
+		sb.WriteString("\t" + dir + " ")
+		for j := i; j < n && j < i+16; j++ {
+			if j > i {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(sb, "%d", at(j))
+		}
+		sb.WriteString("\n")
+	}
+}
+
+// Listing disassembles the image's code section (vector table skipped,
+// stops at the data tables) for debugging and documentation.
+func (img *Image) Listing() string {
+	var sb strings.Builder
+	code := img.Prog.Code
+	end := img.CodeBytes
+	if end > len(code) {
+		end = len(code)
+	}
+	const vectorBytes = 64
+	for off := vectorBytes; off < end; {
+		op := uint16(code[off])
+		if off+1 < len(code) {
+			op |= uint16(code[off+1]) << 8
+		}
+		var lo uint16
+		if off+4 <= len(code) {
+			lo = uint16(code[off+2]) | uint16(code[off+3])<<8
+		}
+		text, size := armv6m.Disassemble(armv6m.FlashBase+uint32(off), op, lo)
+		fmt.Fprintf(&sb, "%08x: %s\n", armv6m.FlashBase+uint32(off), text)
+		off += size
+	}
+	return sb.String()
+}

@@ -1,0 +1,265 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"github.com/neuro-c/neuroc/internal/rng"
+	"github.com/neuro-c/neuroc/internal/tensor"
+)
+
+func TestDenseForwardShape(t *testing.T) {
+	r := rng.New(1)
+	d := NewDense(4, 3, r)
+	x := tensor.NewMat(5, 4)
+	out := d.Forward(x, false)
+	if out.Rows != 5 || out.Cols != 3 {
+		t.Errorf("out shape = %dx%d, want 5x3", out.Rows, out.Cols)
+	}
+}
+
+func TestDenseForwardKnownValues(t *testing.T) {
+	d := &Dense{In: 2, Out: 2, W: newParam("w", 2, 2), B: newParam("b", 1, 2)}
+	// W = [[1,2],[3,4]], b = [10, 20]
+	copy(d.W.Val.Data, []float32{1, 2, 3, 4})
+	copy(d.B.Val.Data, []float32{10, 20})
+	x := tensor.FromSlice(1, 2, []float32{5, 6})
+	out := d.Forward(x, false)
+	// [5*1+6*3+10, 5*2+6*4+20] = [33, 54]
+	if out.At(0, 0) != 33 || out.At(0, 1) != 54 {
+		t.Errorf("out = %v", out.Data)
+	}
+}
+
+// numericalGradCheck verifies analytic gradients against central
+// differences for a tiny network.
+func TestDenseGradCheck(t *testing.T) {
+	r := rng.New(2)
+	d := NewDense(3, 2, r)
+	x := tensor.NewMat(4, 3)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat32()
+	}
+	labels := []int{0, 1, 0, 1}
+
+	lossAt := func() float64 {
+		logits := d.Forward(x, false)
+		loss, _ := SoftmaxCrossEntropy(logits, labels)
+		return loss
+	}
+
+	// Analytic gradients.
+	d.W.ZeroGrad()
+	d.B.ZeroGrad()
+	logits := d.Forward(x, true)
+	_, grad := SoftmaxCrossEntropy(logits, labels)
+	d.Backward(grad)
+
+	const eps = 1e-3
+	check := func(p *Param) {
+		for i := range p.Val.Data {
+			orig := p.Val.Data[i]
+			p.Val.Data[i] = orig + eps
+			lp := lossAt()
+			p.Val.Data[i] = orig - eps
+			lm := lossAt()
+			p.Val.Data[i] = orig
+			numeric := (lp - lm) / (2 * eps)
+			analytic := float64(p.Grad.Data[i])
+			if math.Abs(numeric-analytic) > 1e-2*(1+math.Abs(numeric)) {
+				t.Errorf("%s[%d]: numeric %v vs analytic %v", p.Name, i, numeric, analytic)
+			}
+		}
+	}
+	check(d.W)
+	check(d.B)
+}
+
+func TestReLUForwardBackward(t *testing.T) {
+	relu := NewReLU()
+	x := tensor.FromSlice(1, 4, []float32{-1, 0, 2, -3})
+	out := relu.Forward(x, true)
+	want := []float32{0, 0, 2, 0}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Errorf("relu out[%d] = %v, want %v", i, out.Data[i], w)
+		}
+	}
+	grad := tensor.FromSlice(1, 4, []float32{1, 1, 1, 1})
+	back := relu.Backward(grad)
+	wantG := []float32{0, 0, 1, 0}
+	for i, w := range wantG {
+		if back.Data[i] != w {
+			t.Errorf("relu grad[%d] = %v, want %v", i, back.Data[i], w)
+		}
+	}
+}
+
+func TestDropoutTrainVsEval(t *testing.T) {
+	r := rng.New(3)
+	d := NewDropout(0.5, r)
+	x := tensor.NewMat(10, 100)
+	for i := range x.Data {
+		x.Data[i] = 1
+	}
+	// Eval: identity.
+	out := d.Forward(x, false)
+	for i := range out.Data {
+		if out.Data[i] != 1 {
+			t.Fatal("dropout not identity at eval time")
+		}
+	}
+	// Train: roughly half dropped, survivors scaled by 2.
+	out = d.Forward(x, true)
+	zeros, twos := 0, 0
+	for _, v := range out.Data {
+		switch v {
+		case 0:
+			zeros++
+		case 2:
+			twos++
+		default:
+			t.Fatalf("unexpected dropout value %v", v)
+		}
+	}
+	if zeros < 300 || zeros > 700 {
+		t.Errorf("dropped %d/1000, want about 500", zeros)
+	}
+}
+
+func TestSoftmaxCrossEntropyKnown(t *testing.T) {
+	// Uniform logits over 4 classes: loss = ln(4).
+	logits := tensor.NewMat(1, 4)
+	loss, grad := SoftmaxCrossEntropy(logits, []int{2})
+	if math.Abs(loss-math.Log(4)) > 1e-6 {
+		t.Errorf("loss = %v, want ln4 = %v", loss, math.Log(4))
+	}
+	// Gradient: softmax - onehot = [0.25,0.25,-0.75,0.25].
+	want := []float32{0.25, 0.25, -0.75, 0.25}
+	for i, w := range want {
+		if math.Abs(float64(grad.Data[i]-w)) > 1e-6 {
+			t.Errorf("grad[%d] = %v, want %v", i, grad.Data[i], w)
+		}
+	}
+}
+
+func TestSoftmaxNumericalStability(t *testing.T) {
+	logits := tensor.FromSlice(1, 3, []float32{1000, 1000, -1000})
+	loss, grad := SoftmaxCrossEntropy(logits, []int{0})
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		t.Fatalf("loss = %v on extreme logits", loss)
+	}
+	for _, g := range grad.Data {
+		if math.IsNaN(float64(g)) {
+			t.Fatal("NaN gradient on extreme logits")
+		}
+	}
+}
+
+func TestNetworkLearnsXOR(t *testing.T) {
+	// XOR is the classic non-linear sanity check for backprop.
+	r := rng.New(7)
+	net := NewNetwork(
+		NewDense(2, 8, r),
+		NewReLU(),
+		NewDense(8, 2, r),
+	)
+	x := tensor.FromSlice(4, 2, []float32{0, 0, 0, 1, 1, 0, 1, 1})
+	y := []int{0, 1, 1, 0}
+	// Replicate the 4 points into a batch for stable training.
+	bigX := tensor.NewMat(64, 2)
+	bigY := make([]int, 64)
+	for i := 0; i < 64; i++ {
+		copy(bigX.Row(i), x.Row(i%4))
+		bigY[i] = y[i%4]
+	}
+	res := Fit(net, bigX, bigY, TrainConfig{
+		Epochs: 150, BatchSize: 16, Optimizer: NewAdam(0.01), Seed: 1,
+	})
+	if acc := net.Accuracy(x, y); acc != 1.0 {
+		t.Errorf("XOR accuracy = %v after loss %v, want 1.0", acc, res.FinalLoss)
+	}
+}
+
+func TestSGDMomentumConverges(t *testing.T) {
+	r := rng.New(8)
+	net := NewNetwork(NewDense(2, 2, r))
+	// Linearly separable points.
+	x := tensor.FromSlice(4, 2, []float32{1, 0, 2, 0, -1, 0, -2, 0})
+	y := []int{0, 0, 1, 1}
+	Fit(net, x, y, TrainConfig{Epochs: 100, BatchSize: 4, Optimizer: NewSGD(0.1, 0.9), Seed: 2})
+	if acc := net.Accuracy(x, y); acc != 1.0 {
+		t.Errorf("linear SGD accuracy = %v, want 1.0", acc)
+	}
+}
+
+func TestZeroGradClearsAll(t *testing.T) {
+	r := rng.New(9)
+	net := NewNetwork(NewDense(3, 2, r), NewReLU(), NewDense(2, 2, r))
+	x := tensor.NewMat(2, 3)
+	logits := net.Forward(x, true)
+	_, grad := SoftmaxCrossEntropy(logits, []int{0, 1})
+	net.Backward(grad)
+	net.ZeroGrad()
+	for _, p := range net.Params() {
+		for _, g := range p.Grad.Data {
+			if g != 0 {
+				t.Fatalf("%s gradient not cleared", p.Name)
+			}
+		}
+	}
+}
+
+func TestNumParams(t *testing.T) {
+	r := rng.New(10)
+	net := NewNetwork(NewDense(10, 5, r), NewReLU(), NewDense(5, 3, r))
+	want := 10*5 + 5 + 5*3 + 3
+	if got := net.NumParams(); got != want {
+		t.Errorf("NumParams = %d, want %d", got, want)
+	}
+}
+
+func TestAccuracyBatched(t *testing.T) {
+	r := rng.New(11)
+	net := NewNetwork(NewDense(2, 2, r))
+	copy(net.Layers[0].(*Dense).W.Val.Data, []float32{1, -1, 0, 0})
+	net.Layers[0].(*Dense).B.Val.Zero()
+	// Class 0 iff x[0] > 0.
+	x := tensor.FromSlice(5, 2, []float32{1, 0, 2, 0, -1, 0, -5, 0, 3, 0})
+	y := []int{0, 0, 1, 1, 0}
+	if acc := AccuracyBatched(net, x, y, 2); acc != 1.0 {
+		t.Errorf("accuracy = %v, want 1.0", acc)
+	}
+}
+
+func TestLabelOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad label did not panic")
+		}
+	}()
+	SoftmaxCrossEntropy(tensor.NewMat(1, 3), []int{5})
+}
+
+func TestCosineLRDecays(t *testing.T) {
+	r := rng.New(20)
+	net := NewNetwork(NewDense(2, 2, r))
+	opt := NewAdam(1e-2)
+	x := tensor.NewMat(8, 2)
+	y := make([]int, 8)
+	Fit(net, x, y, TrainConfig{Epochs: 10, BatchSize: 4, Optimizer: opt, CosineLR: true})
+	// After the last epoch the LR sits near 5% of base.
+	if opt.LR > 2e-3 || opt.LR < 4e-4 {
+		t.Errorf("final LR = %v, want near 5%% of 1e-2", opt.LR)
+	}
+}
+
+func TestLRSetterImplementations(t *testing.T) {
+	var _ LRSetter = NewAdam(1)
+	var _ LRSetter = NewSGD(1, 0)
+	a := NewAdam(0.5)
+	a.SetLR(0.25)
+	if a.BaseLR() != 0.25 {
+		t.Error("SetLR/BaseLR mismatch")
+	}
+}

@@ -1,0 +1,257 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/neuro-c/neuroc/internal/nn"
+	"github.com/neuro-c/neuroc/internal/tensor"
+	"github.com/neuro-c/neuroc/internal/ternary"
+)
+
+// DefaultInputScale maps [0,1] pixels onto the int8 range.
+const DefaultInputScale = 127
+
+// stage is one compute layer plus its folded activation.
+type stage struct {
+	tern  *ternary.Layer
+	dense *nn.Dense
+	relu  bool
+}
+
+// collectStages walks the float network, folding ReLU into the
+// preceding compute layer and dropping Dropout (inference no-op).
+func collectStages(net *nn.Network) ([]*stage, error) {
+	var stages []*stage
+	for _, l := range net.Layers {
+		switch v := l.(type) {
+		case *ternary.Layer:
+			stages = append(stages, &stage{tern: v})
+		case *nn.Dense:
+			stages = append(stages, &stage{dense: v})
+		case *nn.ReLU:
+			if len(stages) == 0 {
+				return nil, fmt.Errorf("quant: ReLU before any compute layer")
+			}
+			stages[len(stages)-1].relu = true
+		case *nn.Dropout:
+			// inference no-op
+		default:
+			return nil, fmt.Errorf("quant: unsupported layer type %T", l)
+		}
+	}
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("quant: network has no compute layers")
+	}
+	return stages, nil
+}
+
+func (s *stage) forwardFloat(x *tensor.Mat) *tensor.Mat {
+	if s.tern != nil {
+		return s.tern.Forward(x, false)
+	}
+	return s.dense.Forward(x, false)
+}
+
+// FromNetwork quantizes a trained network into an integer Model using
+// calib (rows of float inputs in the training distribution) to calibrate
+// per-layer activation scales. inputScale 0 selects DefaultInputScale.
+func FromNetwork(net *nn.Network, calib *tensor.Mat, inputScale float64) (*Model, error) {
+	if inputScale <= 0 {
+		inputScale = DefaultInputScale
+	}
+	stages, err := collectStages(net)
+	if err != nil {
+		return nil, err
+	}
+	if calib == nil || calib.Rows == 0 {
+		return nil, fmt.Errorf("quant: calibration data required")
+	}
+
+	// Calibrate: per-stage max |pre-activation|.
+	maxPre := make([]float64, len(stages))
+	x := calib
+	for i, st := range stages {
+		pre := st.forwardFloat(x)
+		maxPre[i] = float64(tensor.MaxAbs(pre.Data))
+		if maxPre[i] == 0 {
+			maxPre[i] = 1 // degenerate stage; avoid division by zero
+		}
+		if st.relu {
+			next := pre.Clone()
+			for j, v := range next.Data {
+				if v < 0 {
+					next.Data[j] = 0
+				}
+			}
+			x = next
+		} else {
+			x = pre
+		}
+	}
+
+	model := &Model{InputScale: inputScale}
+	si := inputScale
+	for i, st := range stages {
+		so := 127 / maxPre[i]
+		var l *Layer
+		if st.tern != nil {
+			l, err = quantizeTernary(st.tern, si, so)
+		} else {
+			l, err = quantizeDense(st.dense, si, so)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("quant: layer %d: %w", i, err)
+		}
+		l.ReLU = st.relu
+		l.OutScale = so
+		model.Layers = append(model.Layers, l)
+		si = so
+	}
+	return model, nil
+}
+
+// chooseShifts picks (pre, post, scaleFactor) such that multiplying a
+// pre-shifted accumulator (worst case |acc| <= accBound) by a multiplier
+// of magnitude <= maxEff·2^(pre+post) cannot overflow int32, maximizing
+// precision. Returned total = pre + post.
+func chooseShifts(maxEff float64, accBound int64) (pre, post uint) {
+	// Pre-shift: keep |acc>>pre| within 16 bits less one for sign.
+	pre = 0
+	for accBound>>pre > 0xffff {
+		pre++
+	}
+	// Total shift: largest s with maxEff·2^s <= 32767.
+	var total uint
+	for total < 30 {
+		if maxEff*float64(int64(1)<<(total+1)) > 32767 {
+			break
+		}
+		total++
+	}
+	if total < pre {
+		total = pre // precision loss, but keeps post >= 0
+	}
+	post = total - pre
+	return pre, post
+}
+
+func clampMult(v float64) int32 {
+	r := math.Round(v)
+	if r > 32767 {
+		return 32767
+	}
+	if r < -32767 {
+		return -32767
+	}
+	return int32(r)
+}
+
+func clampBias(v float64) int32 {
+	r := math.Round(v)
+	if r > 32767 {
+		return 32767
+	}
+	if r < -32768 {
+		return -32768
+	}
+	return int32(r)
+}
+
+func quantizeTernary(t *ternary.Layer, si, so float64) (*Layer, error) {
+	a := t.Adjacency()
+	l := &Layer{
+		Kind: Ternary, In: a.In, Out: a.Out, A: a,
+		PerNeuron: t.UseScale(),
+	}
+	scales := t.Scales()
+	biases := t.Biases()
+
+	// Worst-case accumulator bound: 128 · max fan-in.
+	maxFan := 1
+	for o := 0; o < a.Out; o++ {
+		fan := 0
+		for i := 0; i < a.In; i++ {
+			if a.At(o, i) != 0 {
+				fan++
+			}
+		}
+		if fan > maxFan {
+			maxFan = fan
+		}
+	}
+	accBound := int64(128) * int64(maxFan)
+
+	if l.PerNeuron {
+		maxEff := 0.0
+		eff := make([]float64, a.Out)
+		for o := range eff {
+			eff[o] = so * float64(scales[o]) / si
+			if e := math.Abs(eff[o]); e > maxEff {
+				maxEff = e
+			}
+		}
+		if maxEff == 0 {
+			maxEff = 1e-9
+		}
+		l.PreShift, l.PostShift = chooseShifts(maxEff, accBound)
+		total := l.PreShift + l.PostShift
+		l.Mults = make([]int32, a.Out)
+		for o := range eff {
+			l.Mults[o] = clampMult(eff[o] * float64(int64(1)<<total))
+		}
+	} else {
+		eff := so / si // TNN: w_j == 1
+		l.PreShift, l.PostShift = chooseShifts(eff, accBound)
+		total := l.PreShift + l.PostShift
+		l.Mults = []int32{clampMult(eff * float64(int64(1)<<total))}
+	}
+
+	l.Bias = make([]int32, a.Out)
+	for o := range l.Bias {
+		l.Bias[o] = clampBias(so * float64(biases[o]))
+	}
+	return l, nil
+}
+
+func quantizeDense(d *nn.Dense, si, so float64) (*Layer, error) {
+	in, out := d.In, d.Out
+	maxW := float64(tensor.MaxAbs(d.W.Val.Data))
+	if maxW == 0 {
+		maxW = 1e-9
+	}
+	sw := 127 / maxW
+	l := &Layer{Kind: DenseK, In: in, Out: out, W: make([]int8, in*out), PerNeuron: false}
+	// nn.Dense stores W as in×out; the device wants row-major out×in.
+	var accBound int64 = 1
+	for o := 0; o < out; o++ {
+		var rowAbs int64
+		for i := 0; i < in; i++ {
+			q := math.Round(float64(d.W.Val.At(i, o)) * sw)
+			if q > 127 {
+				q = 127
+			}
+			if q < -127 {
+				q = -127
+			}
+			l.W[o*in+i] = int8(q)
+			if q < 0 {
+				rowAbs -= int64(q)
+			} else {
+				rowAbs += int64(q)
+			}
+		}
+		if b := rowAbs * 128; b > accBound {
+			accBound = b
+		}
+	}
+	eff := so / (sw * si)
+	l.PreShift, l.PostShift = chooseShifts(eff, accBound)
+	total := l.PreShift + l.PostShift
+	l.Mults = []int32{clampMult(eff * float64(int64(1)<<total))}
+	l.Bias = make([]int32, out)
+	for o := 0; o < out; o++ {
+		l.Bias[o] = clampBias(so * float64(d.B.Val.Data[o]))
+	}
+	return l, nil
+}

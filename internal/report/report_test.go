@@ -1,0 +1,71 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := New("Demo", "name", "value")
+	tb.Add("alpha", 1)
+	tb.Add("beta", 2.5)
+	out := tb.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "2.5") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	// Columns align: 'name' and 'alpha' start at the same offset.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 4 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+	header := lines[1]
+	row := lines[3]
+	if strings.Index(header, "value") != strings.Index(row, "1") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestNoteRendered(t *testing.T) {
+	tb := New("X", "a")
+	tb.Add("1")
+	tb.Note = "paper says 42"
+	if !strings.Contains(tb.String(), "note: paper says 42") {
+		t.Error("note missing")
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := map[float64]string{
+		1.0: "1", 2.5: "2.5", 0.125: "0.125", 0.1239: "0.124", 0: "0", -1.5: "-1.5",
+	}
+	for in, want := range cases {
+		if got := Float(in); got != want {
+			t.Errorf("Float(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestUnitHelpers(t *testing.T) {
+	if got := Pct(0.9123); got != "91.2%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := MS(12.345); got != "12.35 ms" {
+		t.Errorf("MS = %q", got)
+	}
+	if got := KB(2048); got != "2.0 KB" {
+		t.Errorf("KB = %q", got)
+	}
+}
+
+func TestWideCellsExpandColumns(t *testing.T) {
+	tb := New("W", "a", "b")
+	tb.Add("averyveryverylongcell", "x")
+	out := tb.String()
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[3], "averyveryverylongcell  x") {
+		t.Errorf("wide cell not padded:\n%s", out)
+	}
+}

@@ -1,0 +1,230 @@
+package neuroc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// smallDigits trims the digits set for fast unit tests.
+func smallDigits() *Dataset {
+	return Digits().Subsample(800, 250)
+}
+
+func TestEndToEndNeuroC(t *testing.T) {
+	ds := smallDigits()
+	m := NewModel(ModelSpec{
+		InputDim: ds.Dim(), NumClasses: ds.NumClasses,
+		Hidden: []int{48}, Arch: ArchNeuroC, Seed: 1,
+	})
+	rep := m.Train(ds, TrainOptions{Epochs: 60})
+	if rep.TestAccuracy < 0.75 {
+		t.Fatalf("float test accuracy = %v", rep.TestAccuracy)
+	}
+	dep, err := m.Deploy(ds, EncodingBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quantized accuracy close to float accuracy.
+	qacc := dep.Accuracy(ds)
+	if qacc < rep.TestAccuracy-0.08 {
+		t.Errorf("quantized accuracy %v vs float %v", qacc, rep.TestAccuracy)
+	}
+	// The emulated device agrees with the host reference.
+	dacc, err := dep.DeviceAccuracy(ds, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := 0
+	for i := 0; i < 40; i++ {
+		if dep.QModel.Predict(dep.QModel.QuantizeInput(ds.TestX.Row(i))) == ds.TestY[i] {
+			host++
+		}
+	}
+	if hostAcc := float64(host) / 40; dacc != hostAcc {
+		t.Errorf("device accuracy %v != host reference %v", dacc, hostAcc)
+	}
+	// Latency and footprint are plausible.
+	ms, cycles, err := dep.MeasureLatency(ds, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms <= 0 || cycles == 0 {
+		t.Errorf("latency %v ms, %d cycles", ms, cycles)
+	}
+	if dep.ProgramBytes() <= 0 || dep.ProgramBytes() > 128*1024 {
+		t.Errorf("program bytes = %d", dep.ProgramBytes())
+	}
+}
+
+func TestEndToEndMLPAndComparison(t *testing.T) {
+	ds := smallDigits()
+	mlp := NewModel(ModelSpec{
+		InputDim: ds.Dim(), NumClasses: ds.NumClasses,
+		Hidden: []int{48}, Arch: ArchMLP, Seed: 2,
+	})
+	mlp.Train(ds, TrainOptions{Epochs: 30})
+	mlpDep, err := mlp.Deploy(ds, EncodingBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nc := NewModel(ModelSpec{
+		InputDim: ds.Dim(), NumClasses: ds.NumClasses,
+		Hidden: []int{48}, Arch: ArchNeuroC, Seed: 2,
+	})
+	nc.Train(ds, TrainOptions{Epochs: 60})
+	ncDep, err := nc.Deploy(ds, EncodingBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The paper's headline: at the same topology, Neuro-C is much
+	// faster and much smaller than the dense MLP.
+	mlpMS, _, err := mlpDep.MeasureLatency(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ncMS, _, err := ncDep.MeasureLatency(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ncMS >= mlpMS {
+		t.Errorf("Neuro-C latency %.2fms not below MLP %.2fms", ncMS, mlpMS)
+	}
+	if ncDep.ProgramBytes() >= mlpDep.ProgramBytes() {
+		t.Errorf("Neuro-C image %dB not below MLP %dB", ncDep.ProgramBytes(), mlpDep.ProgramBytes())
+	}
+}
+
+func TestTNNAblationCosts(t *testing.T) {
+	ds := smallDigits()
+	spec := ModelSpec{
+		InputDim: ds.Dim(), NumClasses: ds.NumClasses,
+		Hidden: []int{32}, Arch: ArchNeuroC, Seed: 3,
+	}
+	nc := NewModel(spec)
+	nc.Train(ds, TrainOptions{Epochs: 40})
+	ncDep, err := nc.Deploy(ds, EncodingBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fig. 8's cost comparison strips w_j from the same trained model,
+	// keeping the adjacency structure identical.
+	tnnDep, err := ncDep.DeployWithoutScale(EncodingBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fig. 8b/8c: removing w_j saves a little latency and a little
+	// memory — both must be small and non-negative.
+	ncMS, _, _ := ncDep.MeasureLatency(ds, 3)
+	tnnMS, _, _ := tnnDep.MeasureLatency(ds, 3)
+	if tnnMS > ncMS {
+		t.Errorf("TNN latency %.3f above Neuro-C %.3f", tnnMS, ncMS)
+	}
+	if ncMS-tnnMS > 0.2*ncMS {
+		t.Errorf("scale overhead %.3fms implausibly large vs %.3fms", ncMS-tnnMS, ncMS)
+	}
+	memDelta := ncDep.ProgramBytes() - tnnDep.ProgramBytes()
+	if memDelta < 0 || memDelta > 2048 {
+		t.Errorf("scale memory overhead = %d bytes", memDelta)
+	}
+}
+
+func TestNotDeployableError(t *testing.T) {
+	ds := smallDigits()
+	// A huge dense MLP cannot fit 128 KB of flash.
+	m := NewModel(ModelSpec{
+		InputDim: ds.Dim(), NumClasses: ds.NumClasses,
+		Hidden: []int{1500, 1000}, Arch: ArchMLP, Seed: 4,
+	})
+	// No training needed; deployment must fail on size alone.
+	_, err := m.Deploy(ds, EncodingBlock)
+	if err == nil {
+		t.Fatal("oversized MLP deployed")
+	}
+	if !errors.Is(err, ErrNotDeployable) {
+		t.Errorf("error = %v, want ErrNotDeployable", err)
+	}
+}
+
+func TestAllEncodingsDeployable(t *testing.T) {
+	ds := smallDigits()
+	m := NewModel(ModelSpec{
+		InputDim: ds.Dim(), NumClasses: ds.NumClasses,
+		Hidden: []int{24}, Arch: ArchNeuroC, Seed: 5,
+	})
+	m.Train(ds, TrainOptions{Epochs: 30})
+	var ref float64
+	for i, enc := range []Encoding{EncodingBlock, EncodingCSC, EncodingDelta, EncodingMixed} {
+		dep, err := m.Deploy(ds, enc)
+		if err != nil {
+			t.Fatalf("%v: %v", enc, err)
+		}
+		acc, err := dep.DeviceAccuracy(ds, 25)
+		if err != nil {
+			t.Fatalf("%v: %v", enc, err)
+		}
+		if i == 0 {
+			ref = acc
+		} else if acc != ref {
+			t.Errorf("%v device accuracy %v differs from block %v", enc, acc, ref)
+		}
+	}
+}
+
+func TestEffectiveParams(t *testing.T) {
+	ds := smallDigits()
+	nc := NewModel(ModelSpec{
+		InputDim: ds.Dim(), NumClasses: ds.NumClasses,
+		Hidden: []int{16}, Arch: ArchNeuroC, Seed: 6,
+	})
+	if nc.EffectiveParams() <= 0 || nc.EffectiveParams() >= nc.NumParams() {
+		t.Errorf("effective %d vs raw %d", nc.EffectiveParams(), nc.NumParams())
+	}
+	mlp := NewModel(ModelSpec{
+		InputDim: ds.Dim(), NumClasses: ds.NumClasses,
+		Hidden: []int{16}, Arch: ArchMLP, Seed: 6,
+	})
+	if mlp.EffectiveParams() != mlp.NumParams() {
+		t.Error("MLP effective params should equal raw params")
+	}
+}
+
+func TestModelSpecValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid spec accepted")
+		}
+	}()
+	NewModel(ModelSpec{InputDim: 0, NumClasses: 10})
+}
+
+func TestSaveLoadDeployment(t *testing.T) {
+	ds := smallDigits()
+	m := NewModel(ModelSpec{
+		InputDim: ds.Dim(), NumClasses: ds.NumClasses,
+		Hidden: []int{24}, Arch: ArchNeuroC, Seed: 8,
+	})
+	m.Train(ds, TrainOptions{Epochs: 20})
+	dep, err := m.Deploy(ds, EncodingBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := dep.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDeployment(&buf, EncodingBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := loaded.Accuracy(ds), dep.Accuracy(ds); got != want {
+		t.Errorf("reloaded accuracy %v != original %v", got, want)
+	}
+	if loaded.ProgramBytes() != dep.ProgramBytes() {
+		t.Errorf("reloaded image %d != original %d", loaded.ProgramBytes(), dep.ProgramBytes())
+	}
+}
