@@ -1,21 +1,31 @@
 // Command m0run executes a raw flash image on the emulated Cortex-M0
-// until the core halts (BKPT), reporting cycle counts and final
-// register state. Optionally a raw byte file is loaded into SRAM first
-// and a region of SRAM is dumped afterwards.
+// until the core halts (BKPT), reporting cycle counts, CPI, a bus-
+// traffic summary, and final register state. Optionally a raw byte file
+// is loaded into SRAM first and a region of SRAM is dumped afterwards.
 //
 //	m0run -img model.bin -in input.raw -in-addr 0x20000000 \
 //	      -dump-addr 0x20000310 -dump-len 10
+//
+// Profiling (see docs/PROFILING.md):
+//
+//	m0run -model model.ncq1 -profile            # hotspot + class tables
+//	m0run -model model.ncq1 -folded out.folded  # flamegraph input
+//	m0run -model model.ncq1 -profile-json p.json
+//	m0run -img kernel.bin -trace 50             # first 50 instructions
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 
 	"github.com/neuro-c/neuroc/internal/armv6m"
 	"github.com/neuro-c/neuroc/internal/device"
 	"github.com/neuro-c/neuroc/internal/modelimg"
+	"github.com/neuro-c/neuroc/internal/profile"
 	"github.com/neuro-c/neuroc/internal/quant"
 )
 
@@ -29,12 +39,18 @@ func main() {
 	dumpLen := flag.Int("dump-len", 16, "bytes to dump")
 	maxInstr := flag.Uint64("max-instr", 500_000_000, "instruction budget before giving up")
 	ws := flag.Int("flash-ws", 0, "flash wait states (0 at 8 MHz, 1 above 24 MHz)")
+	prof := flag.Bool("profile", false, "attribute cycles per PC/class/region and print hotspot tables")
+	top := flag.Int("top", 10, "rows in the -profile hotspot tables")
+	traceN := flag.Uint64("trace", 0, "print the first N executed instructions to stderr")
+	folded := flag.String("folded", "", "write a flamegraph-compatible folded-stack profile to this file")
+	profJSON := flag.String("profile-json", "", "write the full profile as JSON to this file")
 	flag.Parse()
 
 	if *img == "" && *model == "" {
 		fatal(fmt.Errorf("-img or -model is required"))
 	}
 	var code []byte
+	var symbols map[string]uint32
 	if *model != "" {
 		f, err := os.Open(*model)
 		if err != nil {
@@ -54,6 +70,7 @@ func main() {
 			fatal(err)
 		}
 		code = image.Prog.Code
+		symbols = image.Prog.Symbols
 		fmt.Printf("built %d-byte image from %s (input 0x%08x dim %d, output 0x%08x dim %d)\n",
 			len(code), *model, image.InAddr, image.InDim, image.OutAddr, image.OutDim)
 	} else {
@@ -69,6 +86,32 @@ func main() {
 	}
 	cpu.Bus.LoadFlash(0, code)
 	cpu.Bus.FlashWaitStates = *ws
+
+	profiling := *prof || *traceN > 0 || *folded != "" || *profJSON != ""
+	var trace *armv6m.Trace
+	if profiling {
+		trace = cpu.EnableTrace()
+	}
+	if *traceN > 0 {
+		var printed uint64
+		trace.OnInstr = func(ii armv6m.InstrInfo) {
+			if printed >= *traceN {
+				return
+			}
+			printed++
+			var lo uint16
+			if v, err := cpu.Bus.Read16(ii.Addr + 2); err == nil {
+				lo = uint16(v)
+			}
+			text, _ := armv6m.Disassemble(ii.Addr, ii.Op, lo)
+			taken := ""
+			if ii.Taken {
+				taken = " (taken)"
+			}
+			fmt.Fprintf(os.Stderr, "trace %08x: %-28s %d cycles [%s]%s\n",
+				ii.Addr, text, ii.Cycles, ii.Class, taken)
+		}
+	}
 
 	if *in != "" {
 		data, err := os.ReadFile(*in)
@@ -90,11 +133,23 @@ func main() {
 		fatal(err)
 	}
 	if err := cpu.Run(*maxInstr); err != nil {
+		var budget *armv6m.BudgetError
+		if errors.As(err, &budget) {
+			fmt.Fprintf(os.Stderr, "m0run: instruction budget exhausted: "+
+				"no BKPT after %d instructions (stopped at pc=0x%08x).\n"+
+				"The kernel is looping or the budget is too small; raise -max-instr. "+
+				"No partial result is reported.\n", budget.Instructions, budget.PC)
+			os.Exit(3)
+		}
 		fatal(err)
 	}
 
-	fmt.Printf("halted: BKPT #%d after %d instructions, %d cycles (%.3f ms @ 8 MHz)\n",
-		cpu.HaltCode, cpu.Instructions, cpu.Cycles, device.CyclesToMS(cpu.Cycles))
+	fmt.Printf("halted: BKPT #%d after %d instructions, %d cycles (CPI %.3f, %.3f ms @ 8 MHz)\n",
+		cpu.HaltCode, cpu.Instructions, cpu.Cycles,
+		float64(cpu.Cycles)/float64(cpu.Instructions), device.CyclesToMS(cpu.Cycles))
+	fmt.Printf("bus: %d flash accesses (%d wait-state cycles), %d SRAM reads, %d SRAM writes\n",
+		cpu.Bus.FlashReads, cpu.Bus.FlashReads*uint64(cpu.Bus.FlashWaitStates),
+		cpu.Bus.SRAMReads, cpu.Bus.SRAMWrites)
 	for i := 0; i < 13; i++ {
 		fmt.Printf("r%-2d = 0x%08x  ", i, cpu.R[i])
 		if i%4 == 3 {
@@ -103,6 +158,23 @@ func main() {
 	}
 	fmt.Printf("\nsp  = 0x%08x  lr = 0x%08x  pc = 0x%08x\n",
 		cpu.R[armv6m.SP], cpu.R[armv6m.LR], cpu.R[armv6m.PC])
+
+	if profiling {
+		p := profile.New(trace, symbols)
+		if *prof {
+			fmt.Println()
+			p.ClassTable().Fprint(os.Stdout)
+			p.BusTable().Fprint(os.Stdout)
+			p.KernelTable(*top).Fprint(os.Stdout)
+			p.HotTable(*top).Fprint(os.Stdout)
+		}
+		if *folded != "" {
+			writeTo(*folded, p.WriteFolded)
+		}
+		if *profJSON != "" {
+			writeTo(*profJSON, p.WriteJSON)
+		}
+	}
 
 	if *dumpAddr != "" {
 		addr, err := parseAddr(*dumpAddr)
@@ -119,6 +191,22 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// writeTo writes an export to path via emit.
+func writeTo(path string, emit func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "m0run: wrote %s\n", path)
 }
 
 func parseAddr(s string) (uint32, error) {

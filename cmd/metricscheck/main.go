@@ -1,0 +1,33 @@
+// Command metricscheck validates a metrics JSON file emitted by
+// `neuroc-bench -metrics`: it must parse, carry the neuroc-metrics/v1
+// schema, and every experiment record must contain the required keys
+// (name, kind, cycles, instructions, cpi, latency_ms, accuracy,
+// flash_bytes, ram_bytes). It is the fail-fast CI gate behind the
+// bench-smoke step in scripts/verify.sh.
+//
+//	metricscheck bench_quick.json
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/neuro-c/neuroc/internal/bench"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: metricscheck metrics.json")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metricscheck:", err)
+		os.Exit(1)
+	}
+	if err := bench.ValidateMetricsJSON(data); err != nil {
+		fmt.Fprintf(os.Stderr, "metricscheck: %s: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+	fmt.Printf("metricscheck: %s ok\n", os.Args[1])
+}

@@ -75,6 +75,7 @@ func main() {
 	verbose := flag.Bool("v", false, "log per-model progress to stderr")
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	list := flag.Bool("list", false, "list experiments and exit")
+	metrics := flag.String("metrics", "", "write structured per-experiment metrics JSON to this file")
 	flag.Parse()
 
 	if *list {
@@ -104,6 +105,24 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "neuroc-bench: unknown experiment %q (use -list)\n", *exp)
 		os.Exit(2)
+	}
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "neuroc-bench:", err)
+			os.Exit(1)
+		}
+		if err := r.WriteMetricsJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "neuroc-bench: writing metrics:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "neuroc-bench: wrote %d experiment metrics to %s\n",
+			len(r.Metrics().Experiments), *metrics)
 	}
 }
 

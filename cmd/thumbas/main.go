@@ -18,8 +18,9 @@ import (
 func main() {
 	base := flag.String("base", "0x08000000", "load address of the first byte")
 	out := flag.String("o", "", "output binary (default: stdout hex dump)")
-	symbols := flag.Bool("symbols", false, "print the symbol table")
-	listing := flag.Bool("d", false, "print a disassembly listing")
+	symbols := flag.Bool("symbols", false, "print the symbol table in address order")
+	flag.BoolVar(symbols, "syms", false, "alias for -symbols")
+	listing := flag.Bool("d", false, "print a disassembly listing with labels interleaved")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -40,8 +41,8 @@ func main() {
 	}
 
 	if *symbols {
-		for _, name := range prog.SymbolsSorted() {
-			fmt.Printf("0x%08x %s\n", prog.Symbols[name], name)
+		for _, s := range prog.SymbolsInOrder() {
+			fmt.Printf("0x%08x %s\n", s.Addr, s.Name)
 		}
 	}
 	if *out != "" {
@@ -52,7 +53,14 @@ func main() {
 		return
 	}
 	if *listing {
+		syms := prog.SymbolsInOrder()
+		next := 0
 		for off := 0; off < len(prog.Code); {
+			addr := uint32(baseAddr) + uint32(off)
+			for next < len(syms) && syms[next].Addr <= addr {
+				fmt.Printf("%s:\n", syms[next].Name)
+				next++
+			}
 			op := uint16(prog.Code[off])
 			if off+1 < len(prog.Code) {
 				op |= uint16(prog.Code[off+1]) << 8
@@ -61,8 +69,8 @@ func main() {
 			if off+4 <= len(prog.Code) {
 				lo = uint16(prog.Code[off+2]) | uint16(prog.Code[off+3])<<8
 			}
-			text, size := armv6m.Disassemble(uint32(baseAddr)+uint32(off), op, lo)
-			fmt.Printf("%08x: %-12s %s\n", uint32(baseAddr)+uint32(off), hexBytes(prog.Code[off:off+size]), text)
+			text, size := armv6m.Disassemble(addr, op, lo)
+			fmt.Printf("%08x: %-12s %s\n", addr, hexBytes(prog.Code[off:off+size]), text)
 			off += size
 		}
 		return

@@ -73,20 +73,36 @@ func (d *Deployment) DataBytes() int { return d.Img.DataBytes }
 // from the test split and returns the mean latency in milliseconds and
 // the mean cycle count, mirroring the paper's 100-run TIM2 averaging.
 func (d *Deployment) MeasureLatency(ds *Dataset, runs int) (ms float64, cycles uint64, err error) {
+	ms, cycles, _, err = d.MeasureStats(ds, runs)
+	return ms, cycles, err
+}
+
+// MeasureStats is MeasureLatency also returning the mean retired-
+// instruction count, so callers can derive CPI alongside latency.
+func (d *Deployment) MeasureStats(ds *Dataset, runs int) (ms float64, cycles, instructions uint64, err error) {
 	if runs <= 0 {
 		runs = 10
 	}
-	var total uint64
+	var totalCycles, totalInstrs uint64
 	for i := 0; i < runs; i++ {
 		row := ds.TestX.Row(i % ds.TestX.Rows)
 		res, err := d.Dev.Run(d.QModel.QuantizeInput(row))
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, 0, err
 		}
-		total += res.Cycles
+		totalCycles += res.Cycles
+		totalInstrs += res.Instructions
 	}
-	mean := total / uint64(runs)
-	return device.CyclesToMS(mean), mean, nil
+	meanCycles := totalCycles / uint64(runs)
+	return device.CyclesToMS(meanCycles), meanCycles, totalInstrs / uint64(runs), nil
+}
+
+// Profile runs one profiled inference on test-split sample idx and
+// returns the device result carrying the full cycle-attribution trace
+// (symbolize with profile.New(res.Trace, d.Img.Prog.Symbols)).
+func (d *Deployment) Profile(ds *Dataset, idx int) (*device.Result, error) {
+	row := ds.TestX.Row(idx % ds.TestX.Rows)
+	return d.Dev.RunProfiled(d.QModel.QuantizeInput(row))
 }
 
 // Accuracy evaluates the quantized model on the test split. The

@@ -75,6 +75,11 @@ type CPU struct {
 	// PriMask, when set (CPSID i), defers interrupt dispatch; pending
 	// interrupts are taken once CPSIE i clears it.
 	PriMask bool
+
+	// Trace, when non-nil, attributes every retired instruction (see
+	// trace.go). Nil — the default — keeps Step on its fast path: the
+	// only added cost is a nil check.
+	Trace *Trace
 }
 
 // New returns a CPU wired to a fresh STM32F072-like bus with the
@@ -193,7 +198,12 @@ func (c *CPU) fetch16() (uint32, error) {
 
 // Step executes a single instruction, updating cycle and instruction
 // counters. It returns ErrHalted after BKPT and bus faults as errors.
+// With no trace attached the body is identical to the untraced core:
+// the profiler's disabled cost is this single pointer comparison.
 func (c *CPU) Step() error {
+	if c.Trace != nil {
+		return c.stepTraced()
+	}
 	if c.Halted {
 		return ErrHalted
 	}
@@ -227,9 +237,72 @@ func (c *CPU) Step() error {
 	return nil
 }
 
+// stepTraced is Step with per-instruction attribution: it must mirror
+// the untraced body exactly (the parity tests compare the two paths
+// instruction for instruction) while snapshotting the cycle and bus
+// counters around each retire.
+func (c *CPU) stepTraced() error {
+	if c.Halted {
+		return ErrHalted
+	}
+	if c.pendingIRQ && !c.inHandler && !c.PriMask {
+		c.pendingIRQ = false
+		c.SysTick.Fires++
+		entryStart := c.Cycles
+		if err := c.takeException(SysTickVector); err != nil {
+			return err
+		}
+		c.Trace.ExceptionEntries++
+		c.Trace.ExceptionEntryCycles += c.Cycles - entryStart
+	}
+	instrAddr := c.R[PC]
+	// Snapshot counters for attribution; c.Cycles - instrStart covers
+	// the fetch wait states, the execution cost, and any exception-
+	// return overhead charged inside exec.
+	instrStart := c.Cycles
+	flashBefore := c.Bus.FlashReads
+	sramRBefore := c.Bus.SRAMReads
+	sramWBefore := c.Bus.SRAMWrites
+	op, err := c.fetch16()
+	if err != nil {
+		return fmt.Errorf("fetch at 0x%08x: %w", instrAddr, err)
+	}
+	// Wait states on the instruction fetch itself.
+	c.Cycles += uint64(c.Bus.accessCycles(instrAddr))
+
+	cycles, err := c.exec(op)
+	if err != nil {
+		return fmt.Errorf("at 0x%08x (op 0x%04x): %w", instrAddr, op, err)
+	}
+	c.Cycles += uint64(cycles)
+	c.Instructions++
+	c.Trace.record(c, instrAddr, op, c.Cycles-instrStart, flashBefore, sramRBefore, sramWBefore)
+	if c.SysTick.tick(int64(cycles)) {
+		c.pendingIRQ = true
+	}
+	if c.Halted {
+		return ErrHalted
+	}
+	return nil
+}
+
+// BudgetError is returned by Run when the instruction budget is
+// exhausted before the core halts: the run was cut short and any
+// observed state is partial. Callers should treat it as a hard failure
+// (m0run exits non-zero on it) rather than report the truncated counts.
+type BudgetError struct {
+	Instructions uint64 // the exhausted budget
+	PC           uint32 // where execution was abandoned
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("armv6m: instruction budget exhausted: no halt after %d instructions (pc=0x%08x)",
+		e.Instructions, e.PC)
+}
+
 // Run executes instructions until the core halts via BKPT (returning
 // nil), faults (returning the fault), or maxInstructions retire without
-// halting (returning an error, to catch runaway kernels).
+// halting (returning a *BudgetError, to catch runaway kernels).
 func (c *CPU) Run(maxInstructions uint64) error {
 	for i := uint64(0); i < maxInstructions; i++ {
 		err := c.Step()
@@ -241,7 +314,7 @@ func (c *CPU) Run(maxInstructions uint64) error {
 		}
 		return err
 	}
-	return fmt.Errorf("armv6m: no halt after %d instructions (pc=0x%08x)", maxInstructions, c.R[PC])
+	return &BudgetError{Instructions: maxInstructions, PC: c.R[PC]}
 }
 
 // dataAccessCycles is the base cost of a single load/store plus wait

@@ -1,0 +1,215 @@
+package armv6m
+
+// Tracing support: an opt-in, zero-overhead-when-disabled observation
+// hook on CPU.Step. When CPU.Trace is nil (the default) the only cost
+// per retired instruction is one nil check; when set, every retired
+// instruction is attributed — by PC, by instruction class, and by bus
+// region — so that the per-class and per-PC cycle totals sum exactly to
+// CPU.Cycles and CPU.Instructions. Exception entries are charged to a
+// separate bucket (they retire no instruction); exception-return
+// overhead is folded into the returning BX/POP instruction, matching
+// how the core itself spends the cycles.
+
+// InstrClass buckets retired instructions for cycle attribution.
+type InstrClass int
+
+// Instruction classes. The assignment is a partition: every encoding
+// maps to exactly one class, so per-class sums are exact. MULS gets its
+// own class because its cost is the configurable CPU.MulCycles; PUSH,
+// POP, LDM, and STM count as load/store.
+const (
+	ClassALU       InstrClass = iota // data processing, moves, extends, hints
+	ClassLoadStore                   // single and multiple loads/stores
+	ClassBranch                      // B, BL, BX/BLX, PC-writing ADD/MOV
+	ClassMul                         // MULS
+	NumClasses
+)
+
+// String names the class.
+func (cl InstrClass) String() string {
+	switch cl {
+	case ClassALU:
+		return "alu"
+	case ClassLoadStore:
+		return "load-store"
+	case ClassBranch:
+		return "branch"
+	case ClassMul:
+		return "mul"
+	default:
+		return "unknown"
+	}
+}
+
+// PCSample is the per-address histogram cell.
+type PCSample struct {
+	Count  uint64 // retired instructions at this PC
+	Cycles uint64 // cycles attributed to this PC (incl. fetch wait states)
+}
+
+// InstrInfo describes one retired instruction, streamed to an OnInstr
+// callback (used by `m0run -trace` for execution listings).
+type InstrInfo struct {
+	Addr   uint32
+	Op     uint16 // first halfword (BL's second halfword is at Addr+2)
+	Class  InstrClass
+	Cycles uint64 // total cost charged for this instruction
+	Taken  bool   // branch redirected the PC
+}
+
+// Trace accumulates per-run attribution counters. Attach with
+// CPU.EnableTrace (or set CPU.Trace to NewTrace()) before Run; all
+// counters start at zero.
+type Trace struct {
+	// ClassCycles/ClassInstrs attribute retired instructions by class.
+	// Sum(ClassCycles) + ExceptionEntryCycles == CPU.Cycles and
+	// Sum(ClassInstrs) == CPU.Instructions for a trace enabled from
+	// reset.
+	ClassCycles [NumClasses]uint64
+	ClassInstrs [NumClasses]uint64
+
+	// ExceptionEntryCycles is the stacking/vectoring cost of taken
+	// exceptions, charged between instructions; ExceptionEntries counts
+	// them. Exception-return cycles are folded into the returning
+	// instruction's class.
+	ExceptionEntryCycles uint64
+	ExceptionEntries     uint64
+
+	// Branch outcome counters over ClassBranch instructions.
+	BranchTaken, BranchNotTaken uint64
+
+	// Bus-region traffic: access counts per region and the wait-state
+	// cycles paid on flash accesses (fetch and data alike).
+	FlashAccesses   uint64
+	SRAMReads       uint64
+	SRAMWrites      uint64
+	FlashWaitCycles uint64
+
+	// PCs is the cycle/instruction histogram keyed by instruction
+	// address.
+	PCs map[uint32]*PCSample
+
+	// OnInstr, when set, streams every retired instruction. It runs
+	// after the counters above are updated.
+	OnInstr func(InstrInfo)
+}
+
+// NewTrace returns an empty trace ready to attach to a CPU.
+func NewTrace() *Trace {
+	return &Trace{PCs: make(map[uint32]*PCSample)}
+}
+
+// EnableTrace attaches a fresh trace to the CPU and returns it.
+func (c *CPU) EnableTrace() *Trace {
+	t := NewTrace()
+	c.Trace = t
+	return t
+}
+
+// TotalCycles is the cycle total the trace accounts for; it equals
+// CPU.Cycles when the trace was enabled from reset.
+func (t *Trace) TotalCycles() uint64 {
+	total := t.ExceptionEntryCycles
+	for _, c := range t.ClassCycles {
+		total += c
+	}
+	return total
+}
+
+// TotalInstructions is the retired-instruction total over all classes.
+func (t *Trace) TotalInstructions() uint64 {
+	var total uint64
+	for _, n := range t.ClassInstrs {
+		total += n
+	}
+	return total
+}
+
+// CPI is cycles per retired instruction (0 when nothing retired).
+func (t *Trace) CPI() float64 {
+	n := t.TotalInstructions()
+	if n == 0 {
+		return 0
+	}
+	return float64(t.TotalCycles()) / float64(n)
+}
+
+// record attributes one retired instruction. fr/sr/sw are the bus
+// counters snapshotted before the fetch, so the deltas cover the fetch
+// and all data accesses the instruction made.
+func (t *Trace) record(c *CPU, addr, op uint32, cycles uint64, fr, sr, sw uint64) {
+	cl := classifyOp(op)
+	t.ClassCycles[cl] += cycles
+	t.ClassInstrs[cl]++
+	taken := false
+	if cl == ClassBranch {
+		// A taken branch left the PC off the fall-through address. BL is
+		// the only 32-bit encoding, so the width is known from op. (A
+		// branch targeting its own fall-through would read as not taken;
+		// no real code does that, and cycle attribution is unaffected.)
+		width := uint32(2)
+		if op>>11 == 0b11110 {
+			width = 4
+		}
+		if c.R[PC] != addr+width {
+			taken = true
+			t.BranchTaken++
+		} else {
+			t.BranchNotTaken++
+		}
+	}
+	flash := c.Bus.FlashReads - fr
+	t.FlashAccesses += flash
+	t.SRAMReads += c.Bus.SRAMReads - sr
+	t.SRAMWrites += c.Bus.SRAMWrites - sw
+	t.FlashWaitCycles += flash * uint64(c.Bus.FlashWaitStates)
+	s := t.PCs[addr]
+	if s == nil {
+		s = &PCSample{}
+		t.PCs[addr] = s
+	}
+	s.Count++
+	s.Cycles += cycles
+	if t.OnInstr != nil {
+		t.OnInstr(InstrInfo{Addr: addr, Op: uint16(op), Class: cl, Cycles: cycles, Taken: taken})
+	}
+}
+
+// classifyOp maps a first halfword to its instruction class. The
+// partition mirrors the decode tree in exec1.
+func classifyOp(op uint32) InstrClass {
+	switch op >> 11 {
+	case 0b01001, // LDR literal
+		0b01010, 0b01011, // load/store register offset
+		0b01100, 0b01101, 0b01110, 0b01111, // load/store word/byte imm
+		0b10000, 0b10001, // load/store halfword imm
+		0b10010, 0b10011, // load/store SP-relative
+		0b11000, 0b11001: // STM/LDM
+		return ClassLoadStore
+	case 0b11010, 0b11011, 0b11100, 0b11110: // B<cond>, B, BL
+		return ClassBranch
+	case 0b01000:
+		if op&(1<<10) == 0 { // data-processing register
+			if (op>>6)&0xf == 0b1101 {
+				return ClassMul
+			}
+			return ClassALU
+		}
+		switch (op >> 8) & 3 {
+		case 0b11: // BX/BLX
+			return ClassBranch
+		case 0b00, 0b10: // hi-reg ADD/MOV: a branch when Rd is the PC
+			if op&0x87 == 0x87 {
+				return ClassBranch
+			}
+		}
+		return ClassALU
+	case 0b10110, 0b10111: // miscellaneous 1011 xxxx
+		if op>>9 == 0b1011_010 || op>>9 == 0b1011_110 { // PUSH/POP
+			return ClassLoadStore
+		}
+		return ClassALU
+	default:
+		return ClassALU
+	}
+}

@@ -28,11 +28,14 @@ type Config struct {
 
 // Runner executes experiments, caching generated datasets and trained
 // candidates (the figure runners share sweeps: Fig 7 reuses Fig 6's
-// MNIST results rather than retraining).
+// MNIST results rather than retraining). Every device measurement is
+// also recorded as a structured Metric (see metrics.go) for
+// `neuroc-bench -metrics` trajectory tracking.
 type Runner struct {
 	cfg      Config
 	data     map[string]*dataset.Dataset
 	outcomes map[string]*outcome
+	metrics  map[string]Metric
 }
 
 // New returns a Runner for cfg.
@@ -41,6 +44,7 @@ func New(cfg Config) *Runner {
 		cfg:      cfg,
 		data:     make(map[string]*dataset.Dataset),
 		outcomes: make(map[string]*outcome),
+		metrics:  make(map[string]Metric),
 	}
 }
 
@@ -124,29 +128,64 @@ func synthTernaryLayer(r *rng.RNG, in, out int, density float64, perNeuron bool)
 	return l
 }
 
-// measureModel deploys m with enc and returns mean latency (ms) and the
-// image footprint in bytes.
-func measureModel(m *quant.Model, enc modelimg.EncodingChoice, runs int) (ms float64, bytes int, err error) {
+// measurement is one on-device measurement of a deployed model.
+type measurement struct {
+	ms           float64
+	cycles       uint64
+	instructions uint64
+	flashBytes   int
+	ramBytes     int
+}
+
+// measureModel deploys m with enc and returns mean latency, cycle and
+// instruction counts, and the flash/SRAM footprints.
+func measureModel(m *quant.Model, enc modelimg.EncodingChoice, runs int) (*measurement, error) {
 	img, err := modelimg.Build(m, enc)
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
 	dev, err := device.New(img)
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
 	r := rng.New(77)
 	in := make([]int8, m.Layers[0].In)
 	for i := range in {
 		in[i] = int8(r.Intn(255) - 127)
 	}
-	var total uint64
+	var cycles, instrs uint64
 	for i := 0; i < runs; i++ {
 		res, err := dev.Run(in)
 		if err != nil {
-			return 0, 0, err
+			return nil, err
 		}
-		total += res.Cycles
+		cycles += res.Cycles
+		instrs += res.Instructions
 	}
-	return device.CyclesToMS(total / uint64(runs)), img.TotalBytes(), nil
+	cycles /= uint64(runs)
+	instrs /= uint64(runs)
+	return &measurement{
+		ms:           device.CyclesToMS(cycles),
+		cycles:       cycles,
+		instructions: instrs,
+		flashBytes:   img.TotalBytes(),
+		ramBytes:     img.RAMBytes,
+	}, nil
+}
+
+// measureMicro runs measureModel and records the result as a
+// microbenchmark metric under name.
+func (r *Runner) measureMicro(name string, m *quant.Model, enc modelimg.EncodingChoice, runs int) (*measurement, error) {
+	meas, err := measureModel(m, enc, runs)
+	if err != nil {
+		r.record(Metric{Name: name, Kind: "micro", Encoding: enc.String(), Error: err.Error()})
+		return nil, err
+	}
+	r.record(Metric{
+		Name: name, Kind: "micro", Encoding: enc.String(),
+		Cycles: meas.cycles, Instructions: meas.instructions,
+		LatencyMS: meas.ms, FlashBytes: meas.flashBytes, RAMBytes: meas.ramBytes,
+		Deployable: true,
+	})
+	return meas, nil
 }

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// MetricsSchema identifies the structured-metrics JSON format emitted
+// by the runner (`neuroc-bench -metrics out.json`), consumed by
+// trajectory tracking (BENCH_*.json) and the metrics-check tooling.
+const MetricsSchema = "neuroc-metrics/v1"
+
+// requiredMetricKeys are the per-experiment keys every record must
+// carry; ValidateMetricsJSON enforces them so metric regressions fail
+// fast in CI.
+var requiredMetricKeys = []string{
+	"name", "kind", "cycles", "instructions", "cpi",
+	"latency_ms", "accuracy", "flash_bytes", "ram_bytes",
+}
+
+// Metric is one structured per-experiment measurement. Model records
+// (kind "model") carry accuracy; microbenchmarks (kind "micro") report
+// accuracy 0 — the field stays present so the schema is uniform.
+type Metric struct {
+	Name          string  `json:"name"`
+	Kind          string  `json:"kind"` // "model" or "micro"
+	Encoding      string  `json:"encoding,omitempty"`
+	Cycles        uint64  `json:"cycles"`
+	Instructions  uint64  `json:"instructions"`
+	CPI           float64 `json:"cpi"`
+	LatencyMS     float64 `json:"latency_ms"`
+	Accuracy      float64 `json:"accuracy"`       // quantized on-device accuracy
+	AccuracyFloat float64 `json:"accuracy_float"` // float reference accuracy
+	FlashBytes    int     `json:"flash_bytes"`
+	RAMBytes      int     `json:"ram_bytes"`
+	Params        int     `json:"params,omitempty"`
+	Deployable    bool    `json:"deployable"`
+	Error         string  `json:"error,omitempty"` // deploy/measure failure, if any
+}
+
+// MetricsFile is the top-level metrics document.
+type MetricsFile struct {
+	Schema      string   `json:"schema"`
+	Quick       bool     `json:"quick"`
+	Seed        uint64   `json:"seed"`
+	Experiments []Metric `json:"experiments"`
+}
+
+// record registers a metric under its name, overwriting an earlier
+// record of the same experiment (memoized candidates report once).
+func (r *Runner) record(m Metric) {
+	if m.Instructions > 0 {
+		m.CPI = float64(m.Cycles) / float64(m.Instructions)
+	}
+	r.metrics[m.Name] = m
+}
+
+// Metrics returns everything recorded so far, sorted by name.
+func (r *Runner) Metrics() *MetricsFile {
+	names := make([]string, 0, len(r.metrics))
+	for n := range r.metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	f := &MetricsFile{Schema: MetricsSchema, Quick: r.cfg.Quick, Seed: r.cfg.Seed}
+	for _, n := range names {
+		f.Experiments = append(f.Experiments, r.metrics[n])
+	}
+	return f
+}
+
+// WriteMetricsJSON emits the recorded metrics as indented JSON.
+func (r *Runner) WriteMetricsJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Metrics())
+}
+
+// ValidateMetricsJSON checks that data parses as a metrics document
+// with the right schema, at least one experiment, and every required
+// key present on every experiment. It is the CI gate behind
+// `neuroc-bench -quick -metrics`: a runner change that drops a key or
+// stops emitting records fails here rather than in downstream tooling.
+func ValidateMetricsJSON(data []byte) error {
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(data, &top); err != nil {
+		return fmt.Errorf("metrics: not valid JSON: %w", err)
+	}
+	var schema string
+	if err := json.Unmarshal(top["schema"], &schema); err != nil || schema != MetricsSchema {
+		return fmt.Errorf("metrics: schema %q, want %q", schema, MetricsSchema)
+	}
+	var exps []map[string]json.RawMessage
+	if err := json.Unmarshal(top["experiments"], &exps); err != nil {
+		return fmt.Errorf("metrics: experiments: %w", err)
+	}
+	if len(exps) == 0 {
+		return fmt.Errorf("metrics: no experiments recorded")
+	}
+	for i, e := range exps {
+		for _, k := range requiredMetricKeys {
+			if _, ok := e[k]; !ok {
+				return fmt.Errorf("metrics: experiment %d missing required key %q", i, k)
+			}
+		}
+	}
+	return nil
+}

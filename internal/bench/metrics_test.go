@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestFig5RecordsMetrics checks that a training-free device-measured
+// experiment populates the structured metrics and that the emitted JSON
+// passes its own CI gate.
+func TestFig5RecordsMetrics(t *testing.T) {
+	r := quickRunner()
+	r.Fig5()
+	mf := r.Metrics()
+	if len(mf.Experiments) == 0 {
+		t.Fatal("Fig5 recorded no metrics")
+	}
+	if mf.Schema != MetricsSchema {
+		t.Errorf("schema = %q", mf.Schema)
+	}
+	if !mf.Quick {
+		t.Error("quick flag not propagated")
+	}
+	sawFig5 := false
+	for _, m := range mf.Experiments {
+		if !strings.HasPrefix(m.Name, "fig5-") {
+			continue
+		}
+		sawFig5 = true
+		if m.Kind != "micro" {
+			t.Errorf("%s: kind = %q, want micro", m.Name, m.Kind)
+		}
+		if m.Error != "" {
+			t.Errorf("%s: unexpected error %q", m.Name, m.Error)
+			continue
+		}
+		if m.Cycles == 0 || m.Instructions == 0 {
+			t.Errorf("%s: empty measurement %+v", m.Name, m)
+		}
+		if m.CPI < 1 {
+			t.Errorf("%s: CPI %v below 1 (sub-cycle instructions?)", m.Name, m.CPI)
+		}
+		if m.LatencyMS <= 0 || m.FlashBytes <= 0 {
+			t.Errorf("%s: missing latency/flash: %+v", m.Name, m)
+		}
+	}
+	if !sawFig5 {
+		t.Error("no fig5-* records among metrics")
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteMetricsJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateMetricsJSON(buf.Bytes()); err != nil {
+		t.Errorf("emitted metrics fail validation: %v", err)
+	}
+}
+
+func TestValidateMetricsJSONRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		want string
+	}{
+		{"garbage", "{not json", "not valid JSON"},
+		{"wrong-schema", `{"schema":"other/v9","experiments":[{}]}`, "schema"},
+		{"no-experiments", `{"schema":"neuroc-metrics/v1","experiments":[]}`, "no experiments"},
+		{"missing-key", `{"schema":"neuroc-metrics/v1","experiments":[{"name":"x","kind":"micro","cycles":1,"instructions":1,"cpi":1,"latency_ms":1,"accuracy":0,"flash_bytes":1}]}`, `"ram_bytes"`},
+	}
+	for _, c := range cases {
+		err := ValidateMetricsJSON([]byte(c.data))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestMetricCPIRecomputed checks record derives CPI from the raw counts
+// so callers cannot desynchronize the three fields.
+func TestMetricCPIRecomputed(t *testing.T) {
+	r := quickRunner()
+	r.record(Metric{Name: "x", Kind: "micro", Cycles: 300, Instructions: 200, CPI: 99})
+	m := r.Metrics().Experiments[0]
+	if m.CPI != 1.5 {
+		t.Errorf("CPI = %v, want 1.5", m.CPI)
+	}
+	// Zero instructions (failed deploy): CPI left untouched, marshals as 0.
+	r.record(Metric{Name: "y", Kind: "model", Error: "deploy failed"})
+	data, err := json.Marshal(r.Metrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateMetricsJSON(data); err != nil {
+		t.Errorf("metrics with a failure record fail validation: %v", err)
+	}
+}

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"fmt"
+
 	"github.com/neuro-c/neuroc/internal/device"
 	"github.com/neuro-c/neuroc/internal/encoding"
 	"github.com/neuro-c/neuroc/internal/modelimg"
@@ -57,6 +59,12 @@ func (r *Runner) Fig2() *report.Table {
 			panic(err)
 		}
 		cnnMS := res.LatencyMS()
+		r.record(Metric{
+			Name: fmt.Sprintf("fig2-cnn%d-s%d-k%d", ci+1, spec.S, spec.K), Kind: "micro",
+			Cycles: res.Cycles, Instructions: res.Instructions,
+			LatencyMS: cnnMS, FlashBytes: ciImg.TotalBytes(), RAMBytes: ciImg.RAMBytes,
+			Deployable: true,
+		})
 
 		// FC with the same MACC count: N_out = MACCs / N_in.
 		nIn := spec.N * spec.N
@@ -69,14 +77,15 @@ func (r *Runner) Fig2() *report.Table {
 		for i := range dense.W {
 			dense.W[i] = int8(rr.Intn(255) - 127)
 		}
-		fcMS, _, err := measureModel(&quant.Model{Layers: []*quant.Layer{dense}, InputScale: 127}, modelimg.UseBlock, 3)
+		fc, err := r.measureMicro(fmt.Sprintf("fig2-fc%d-s%d-k%d", ci+1, spec.S, spec.K),
+			&quant.Model{Layers: []*quant.Layer{dense}, InputScale: 127}, modelimg.UseBlock, 3)
 		if err != nil {
 			panic(err)
 		}
 		t.Add("FC"+string(rune('1'+ci))+"/CNN"+string(rune('1'+ci)),
-			spec.S, spec.K, nIn*nOut, report.MS(cnnMS), report.MS(fcMS),
-			report.Float(cnnMS/fcMS))
-		r.logf("fig2 case %d: cnn %.2fms fc %.2fms", ci+1, cnnMS, fcMS)
+			spec.S, spec.K, nIn*nOut, report.MS(cnnMS), report.MS(fc.ms),
+			report.Float(cnnMS/fc.ms))
+		r.logf("fig2 case %d: cnn %.2fms fc %.2fms", ci+1, cnnMS, fc.ms)
 	}
 	t.Note = "paper: FC consistently lower latency than equal-MACC conv on the M0"
 	return t
@@ -153,13 +162,13 @@ func (r *Runner) Fig5() (latency, flash *report.Table) {
 		latRow := []interface{}{out}
 		flashRow := []interface{}{out}
 		for _, enc := range encs {
-			ms, bytes, err := measureModel(m, enc, 3)
+			meas, err := r.measureMicro(fmt.Sprintf("fig5-%s-out%d", enc, out), m, enc, 3)
 			if err != nil {
 				panic(err)
 			}
-			latRow = append(latRow, report.MS(ms))
-			flashRow = append(flashRow, report.KB(bytes))
-			r.logf("fig5 out=%d enc=%v: %.2fms %s", out, enc, ms, report.KB(bytes))
+			latRow = append(latRow, report.MS(meas.ms))
+			flashRow = append(flashRow, report.KB(meas.flashBytes))
+			r.logf("fig5 out=%d enc=%v: %.2fms %s", out, enc, meas.ms, report.KB(meas.flashBytes))
 		}
 		latency.Add(latRow...)
 		flash.Add(flashRow...)

@@ -19,15 +19,20 @@ type outcome struct {
 	candidate
 	model     *neuroc.Model
 	dep       *neuroc.Deployment // nil when not deployable
+	deployErr error              // why dep is nil, kept so the cache never hides failures
 	floatAcc  float64
 	quantAcc  float64
 	params    int
 	latencyMS float64
+	cycles    uint64
+	instrs    uint64
 	bytes     int
 }
 
 // runCandidate trains, deploys, and measures one configuration,
-// memoizing by candidate name (sweeps are shared between figures).
+// memoizing by candidate name (sweeps are shared between figures). The
+// result is also recorded as a structured metric; deploy failures are
+// logged and carried on the outcome rather than silently cached.
 func (r *Runner) runCandidate(ds *dataset.Dataset, c candidate) *outcome {
 	if o, ok := r.outcomes[c.name]; ok {
 		return o
@@ -38,17 +43,29 @@ func (r *Runner) runCandidate(ds *dataset.Dataset, c candidate) *outcome {
 	r.outcomes[c.name] = o
 	dep, err := m.Deploy(ds, neuroc.EncodingBlock)
 	if err != nil {
+		o.deployErr = err
 		r.logf("%s: acc %.4f params %d (not deployable: %v)", c.name, o.floatAcc, o.params, err)
+		r.record(Metric{
+			Name: c.name, Kind: "model", AccuracyFloat: o.floatAcc,
+			Params: o.params, Deployable: false, Error: err.Error(),
+		})
 		return o
 	}
 	o.dep = dep
 	o.quantAcc = dep.Accuracy(ds)
 	o.bytes = dep.ProgramBytes()
-	ms, _, err := dep.MeasureLatency(ds, 3)
+	ms, cycles, instrs, err := dep.MeasureStats(ds, 3)
 	if err != nil {
 		panic(fmt.Sprintf("bench: measuring %s: %v", c.name, err))
 	}
-	o.latencyMS = ms
+	o.latencyMS, o.cycles, o.instrs = ms, cycles, instrs
+	r.record(Metric{
+		Name: c.name, Kind: "model", Encoding: neuroc.EncodingBlock.String(),
+		Cycles: cycles, Instructions: instrs, LatencyMS: ms,
+		Accuracy: o.quantAcc, AccuracyFloat: o.floatAcc,
+		FlashBytes: o.bytes, RAMBytes: dep.Img.RAMBytes,
+		Params: o.params, Deployable: true,
+	})
 	r.logf("%s: acc %.4f (q %.4f) params %d lat %.2fms mem %dB",
 		c.name, o.floatAcc, o.quantAcc, o.params, o.latencyMS, o.bytes)
 	return o

@@ -24,11 +24,27 @@ type Result struct {
 	Output       []int8
 	Cycles       uint64
 	Instructions uint64
+
+	// Trace carries the full cycle-attribution breakdown when the
+	// inference ran through RunProfiled; nil for plain Run.
+	Trace *armv6m.Trace
 }
 
-// LatencyMS converts cycles to milliseconds at the device clock.
+// LatencyMS converts cycles to milliseconds at the device clock. A
+// zero-cycle result (nothing executed) reports zero latency.
 func (r *Result) LatencyMS() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
 	return float64(r.Cycles) / float64(ClockHz) * 1000
+}
+
+// CPI is cycles per retired instruction, 0 when nothing retired.
+func (r *Result) CPI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Instructions)
 }
 
 // CyclesToMS converts a raw cycle count to milliseconds at ClockHz.
@@ -56,6 +72,20 @@ func New(img *modelimg.Image) (*Device, error) {
 // Run executes one inference on input (length must match the model's
 // input dimension) and returns outputs and cycle counts.
 func (d *Device) Run(input []int8) (*Result, error) {
+	return d.run(input, nil)
+}
+
+// RunProfiled is Run with the emulator's tracing hook attached for the
+// duration of the inference: the returned Result carries a Trace whose
+// per-PC, per-class, and per-bus-region cycle attribution sums exactly
+// to Result.Cycles. Symbolize it with profile.New(res.Trace,
+// dev.Img.Prog.Symbols). The cycle and instruction counts are identical
+// to an unprofiled Run of the same input.
+func (d *Device) RunProfiled(input []int8) (*Result, error) {
+	return d.run(input, armv6m.NewTrace())
+}
+
+func (d *Device) run(input []int8, trace *armv6m.Trace) (*Result, error) {
 	if len(input) != d.Img.InDim {
 		return nil, fmt.Errorf("device: input length %d, want %d", len(input), d.Img.InDim)
 	}
@@ -64,6 +94,8 @@ func (d *Device) Run(input []int8) (*Result, error) {
 	}
 	d.CPU.Cycles = 0
 	d.CPU.Instructions = 0
+	d.CPU.Trace = trace
+	defer func() { d.CPU.Trace = nil }()
 	// Write quantized input into the SRAM input buffer.
 	for i, v := range input {
 		if err := d.CPU.Bus.Write8(d.Img.InAddr+uint32(i), uint32(uint8(v))); err != nil {
@@ -81,7 +113,7 @@ func (d *Device) Run(input []int8) (*Result, error) {
 		}
 		out[i] = int8(uint8(v))
 	}
-	return &Result{Output: out, Cycles: d.CPU.Cycles, Instructions: d.CPU.Instructions}, nil
+	return &Result{Output: out, Cycles: d.CPU.Cycles, Instructions: d.CPU.Instructions, Trace: trace}, nil
 }
 
 // ArmSysTick arms the emulated periodic interrupt with the given period

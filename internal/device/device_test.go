@@ -114,3 +114,62 @@ func TestRepeatedRunsIndependent(t *testing.T) {
 		}
 	}
 }
+
+func TestRunProfiledMatchesRun(t *testing.T) {
+	img, _ := modelimg.Build(tinyModel(), modelimg.UseBlock)
+	dev, _ := device.New(img)
+	in := []int8{10, 3, -5, 20}
+	plain, err := dev.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := dev.RunProfiled(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Trace == nil {
+		t.Fatal("RunProfiled returned no trace")
+	}
+	// Tracing must not perturb the measurement or the result.
+	if prof.Cycles != plain.Cycles || prof.Instructions != plain.Instructions {
+		t.Errorf("profiled run measured %d cycles / %d instrs, unprofiled %d / %d",
+			prof.Cycles, prof.Instructions, plain.Cycles, plain.Instructions)
+	}
+	for i := range plain.Output {
+		if prof.Output[i] != plain.Output[i] {
+			t.Errorf("out[%d] = %d, want %d", i, prof.Output[i], plain.Output[i])
+		}
+	}
+	// Attribution sums exactly to the measured totals.
+	if got := prof.Trace.TotalCycles(); got != prof.Cycles {
+		t.Errorf("trace cycles %d, result cycles %d", got, prof.Cycles)
+	}
+	if got := prof.Trace.TotalInstructions(); got != prof.Instructions {
+		t.Errorf("trace instrs %d, result instrs %d", got, prof.Instructions)
+	}
+	// A later unprofiled run is not left tracing.
+	again, err := dev.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Trace != nil {
+		t.Error("Run after RunProfiled still carries a trace")
+	}
+	if again.Cycles != plain.Cycles {
+		t.Errorf("post-profile run measured %d cycles, want %d", again.Cycles, plain.Cycles)
+	}
+}
+
+func TestResultZeroGuards(t *testing.T) {
+	var r device.Result
+	if ms := r.LatencyMS(); ms != 0 {
+		t.Errorf("LatencyMS on zero-cycle result = %v, want 0", ms)
+	}
+	if cpi := r.CPI(); cpi != 0 {
+		t.Errorf("CPI on zero-instruction result = %v, want 0", cpi)
+	}
+	r = device.Result{Cycles: 300, Instructions: 200}
+	if cpi := r.CPI(); cpi != 1.5 {
+		t.Errorf("CPI = %v, want 1.5", cpi)
+	}
+}

@@ -180,6 +180,7 @@ data_start:
 			OutDim:    nOut,
 			CodeBytes: int(dataStart - armv6m.FlashBase),
 			DataBytes: len(prog.Code) - int(dataStart-armv6m.FlashBase),
+			RAMBytes:  end - int(armv6m.SRAMBase),
 			Asm:       asm,
 		},
 		Spec:    spec,

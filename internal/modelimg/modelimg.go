@@ -79,6 +79,10 @@ type Image struct {
 	// is the program-memory footprint.
 	CodeBytes, DataBytes int
 
+	// RAMBytes is the SRAM footprint: activation/accumulator buffers
+	// plus the reserved stack.
+	RAMBytes int
+
 	// Asm is the generated source, kept for debugging and listings.
 	Asm string
 }
@@ -241,6 +245,7 @@ data_start:
 		OutDim:    last.Out,
 		CodeBytes: int(dataStart - armv6m.FlashBase),
 		DataBytes: len(prog.Code) - int(dataStart-armv6m.FlashBase),
+		RAMBytes:  heapEnd - int(armv6m.SRAMBase) + stackReserve,
 		Asm:       asm,
 	}
 	// Output buffer of the final layer: ping-pong parity.

@@ -492,6 +492,40 @@ func allHex(s string) bool {
 	return true
 }
 
+// Symbol is one named address, as returned by SymbolsInOrder.
+type Symbol struct {
+	Name string
+	Addr uint32
+}
+
+// SymbolsInOrder returns the symbol table sorted by address (ties broken
+// by name), the form profilers and disassemblers need to resolve an
+// address to its nearest preceding label.
+func (p *Program) SymbolsInOrder() []Symbol {
+	syms := make([]Symbol, 0, len(p.Symbols))
+	for n, a := range p.Symbols {
+		syms = append(syms, Symbol{Name: n, Addr: a})
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].Addr != syms[j].Addr {
+			return syms[i].Addr < syms[j].Addr
+		}
+		return syms[i].Name < syms[j].Name
+	})
+	return syms
+}
+
+// NearestSymbol resolves addr to the nearest label at or before it,
+// returning the symbol and ok=false when addr precedes every label.
+func (p *Program) NearestSymbol(addr uint32) (Symbol, bool) {
+	syms := p.SymbolsInOrder()
+	i := sort.Search(len(syms), func(i int) bool { return syms[i].Addr > addr })
+	if i == 0 {
+		return Symbol{}, false
+	}
+	return syms[i-1], true
+}
+
 // SymbolsSorted returns symbol names in address order, useful for
 // disassembly listings and debugging.
 func (p *Program) SymbolsSorted() []string {

@@ -385,3 +385,48 @@ func TestCPSEncodings(t *testing.T) {
 		t.Error("cpsid f should be rejected")
 	}
 }
+
+func TestSymbolsInOrder(t *testing.T) {
+	p := mustAssemble(t, "start:\n nop\nmid:\n nop\n nop\nend:\n nop")
+	syms := p.SymbolsInOrder()
+	if len(syms) != 3 {
+		t.Fatalf("SymbolsInOrder returned %d symbols, want 3", len(syms))
+	}
+	wantNames := []string{"start", "mid", "end"}
+	var prev uint32
+	for i, s := range syms {
+		if s.Name != wantNames[i] {
+			t.Errorf("symbol %d = %s, want %s", i, s.Name, wantNames[i])
+		}
+		if i > 0 && s.Addr < prev {
+			t.Errorf("symbols not in address order: %v", syms)
+		}
+		prev = s.Addr
+	}
+	if syms[0].Addr != base || syms[1].Addr != base+2 || syms[2].Addr != base+6 {
+		t.Errorf("symbol addresses wrong: %v", syms)
+	}
+}
+
+func TestNearestSymbol(t *testing.T) {
+	p := mustAssemble(t, "start:\n nop\nmid:\n nop\n nop\nend:\n nop")
+	cases := []struct {
+		pc   uint32
+		want string
+		ok   bool
+	}{
+		{base, "start", true},
+		{base + 1, "start", true},
+		{base + 2, "mid", true},
+		{base + 4, "mid", true}, // inside mid, before end
+		{base + 6, "end", true},
+		{base + 100, "end", true}, // past the program: nearest preceding
+		{base - 2, "", false},     // before the first label
+	}
+	for _, c := range cases {
+		s, ok := p.NearestSymbol(c.pc)
+		if ok != c.ok || (ok && s.Name != c.want) {
+			t.Errorf("NearestSymbol(0x%08x) = %v,%v want %s,%v", c.pc, s.Name, ok, c.want, c.ok)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Repository verify path: tier-1 build + tests, then a bench-smoke run
+# that exercises the device-measured experiments in quick mode, writes
+# structured metrics JSON, and gates on the metrics schema so metric
+# regressions (dropped keys, empty experiment lists) fail fast.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== bench-smoke (quick device-measured experiments + metrics JSON)"
+# table1/fig2/fig3/fig5 are the training-free experiments: they deploy
+# and measure on the emulated M0 in seconds, which is what the smoke
+# gate needs. `neuroc-bench -quick -metrics bench_quick.json` (all
+# experiments) produces the same file at CI-training scale.
+go run ./cmd/neuroc-bench -exp table1,fig2,fig3,fig5 -quick -metrics bench_quick.json > /dev/null
+
+echo "== metricscheck"
+go run ./cmd/metricscheck bench_quick.json
+
+echo "verify: ok"
