@@ -1,0 +1,165 @@
+// Command asmcheck statically verifies Thumb-1 assembly against the
+// deployment contracts: CFG well-formedness, AAPCS register and stack
+// discipline, flash/SRAM memory-map safety, and worst-case stack and
+// cycle bounds (see docs/ASMCHECK.md). It exits non-zero when any
+// violation is found.
+//
+//	asmcheck kernel.s                 # check a source file (root: entry)
+//	asmcheck -strict -json kernel.s   # machine-readable report
+//	cat kernel.s | asmcheck -         # read from stdin
+//	asmcheck -kernels                 # verify every generated kernel variant
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/neuro-c/neuroc/internal/armv6m"
+	"github.com/neuro-c/neuroc/internal/asmcheck"
+	"github.com/neuro-c/neuroc/internal/kernels"
+	"github.com/neuro-c/neuroc/internal/thumb"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	strict := flag.Bool("strict", false, "require every store address to be proven safe")
+	allKernels := flag.Bool("kernels", false, "check every generated kernel variant instead of reading a file")
+	roots := flag.String("roots", "entry", "comma-separated entry symbols")
+	isrs := flag.String("isrs", "", "comma-separated exception-handler symbols")
+	base := flag.String("base", "0x08000000", "load address for the assembled program")
+	budget := flag.Uint("stack-budget", 0, "stack budget in bytes (0 disables the check)")
+	ws := flag.Int("flash-ws", 0, "flash wait states charged per fetch and data access")
+	flag.Parse()
+
+	if *allKernels {
+		os.Exit(checkKernels(*jsonOut))
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: asmcheck [flags] <file.s | ->   (or -kernels)")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	src, name, err := readInput(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	baseAddr, err := strconv.ParseUint(strings.TrimPrefix(*base, "0x"), 16, 32)
+	if err != nil {
+		fatal(fmt.Errorf("bad -base %q: %w", *base, err))
+	}
+	p, err := thumb.Assemble(src, uint32(baseAddr))
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", name, err))
+	}
+
+	cfg := asmcheck.DefaultConfig()
+	cfg.Strict = *strict
+	cfg.StackBudget = uint32(*budget)
+	cfg.FlashWaitStates = *ws
+	cfg.Roots = splitList(*roots)
+	cfg.ISRRoots = splitList(*isrs)
+	rep, err := asmcheck.Check(p, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	printReport(name, rep, *jsonOut)
+	if !rep.OK() {
+		os.Exit(1)
+	}
+}
+
+// checkKernels runs the strict analysis over every generated kernel
+// variant's self-check harness and prints a bounds table.
+func checkKernels(jsonOut bool) int {
+	bad := 0
+	for _, v := range kernels.Variants() {
+		p, err := thumb.Assemble(v.Harness, armv6m.FlashBase)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: harness does not assemble: %v\n", v.Name, err)
+			bad++
+			continue
+		}
+		cfg := asmcheck.DefaultConfig()
+		cfg.Strict = true
+		cfg.StackBudget = 1024
+		if desc, err := p.Symbol("desc"); err == nil {
+			cfg.CodeLimit = desc
+		}
+		rep, err := asmcheck.Check(p, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", v.Name, err)
+			bad++
+			continue
+		}
+		if jsonOut {
+			printReport(v.Name, rep, true)
+		} else if fr := rep.Func(v.Name); fr != nil {
+			fmt.Printf("%-20s stack %3d B  cycles <= %s\n", v.Name, fr.TotalStack, cycleStr(fr.CycleBound))
+		}
+		if !rep.OK() {
+			for _, viol := range rep.Violations {
+				fmt.Fprintf(os.Stderr, "%s: %s\n", v.Name, viol.String())
+			}
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "asmcheck: %d kernel variant(s) failed\n", bad)
+		return 1
+	}
+	return 0
+}
+
+func printReport(name string, rep *asmcheck.Report, jsonOut bool) {
+	if jsonOut {
+		out, err := rep.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(append(out, '\n'))
+		return
+	}
+	for _, v := range rep.Violations {
+		fmt.Printf("%s: %s\n", name, v.String())
+	}
+	if rep.OK() {
+		fmt.Printf("%s: OK  stack <= %d B  cycles <= %s  (%d unproven loads)\n",
+			name, rep.StackBound, cycleStr(rep.CycleBound), rep.UnprovenLoads)
+	}
+}
+
+func cycleStr(c uint64) string {
+	if c == asmcheck.Unbounded {
+		return "unbounded"
+	}
+	return strconv.FormatUint(c, 10)
+}
+
+func readInput(arg string) (src, name string, err error) {
+	if arg == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), "<stdin>", err
+	}
+	b, err := os.ReadFile(arg)
+	return string(b), arg, err
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "asmcheck:", err)
+	os.Exit(2)
+}

@@ -5,168 +5,11 @@ import "fmt"
 // Disassemble renders the instruction whose first halfword is op (and,
 // for 32-bit BL encodings, second halfword lo) at address addr. size is
 // 2 or 4 bytes. Unknown encodings render as ".hword 0x...." so listings
-// never fail on data embedded in code.
+// never fail on data embedded in code. It is a thin wrapper over Decode,
+// which exposes the same decode machine-readably.
 func Disassemble(addr uint32, op, lo uint16) (text string, size int) {
-	o := uint32(op)
-	reg := func(n uint32) string {
-		switch n {
-		case 13:
-			return "sp"
-		case 14:
-			return "lr"
-		case 15:
-			return "pc"
-		default:
-			return fmt.Sprintf("r%d", n)
-		}
-	}
-	r3 := func(shift uint) string { return reg(o >> shift & 7) }
-
-	switch o >> 11 {
-	case 0b00000:
-		if o>>6&0x1f == 0 {
-			return fmt.Sprintf("movs %s, %s", r3(0), r3(3)), 2
-		}
-		return fmt.Sprintf("lsls %s, %s, #%d", r3(0), r3(3), o>>6&0x1f), 2
-	case 0b00001:
-		return fmt.Sprintf("lsrs %s, %s, #%d", r3(0), r3(3), imm5Shift(o)), 2
-	case 0b00010:
-		return fmt.Sprintf("asrs %s, %s, #%d", r3(0), r3(3), imm5Shift(o)), 2
-	case 0b00011:
-		mn := "adds"
-		if o&(1<<9) != 0 {
-			mn = "subs"
-		}
-		if o&(1<<10) != 0 {
-			return fmt.Sprintf("%s %s, %s, #%d", mn, r3(0), r3(3), o>>6&7), 2
-		}
-		return fmt.Sprintf("%s %s, %s, %s", mn, r3(0), r3(3), r3(6)), 2
-	case 0b00100:
-		return fmt.Sprintf("movs %s, #%d", r3(8), o&0xff), 2
-	case 0b00101:
-		return fmt.Sprintf("cmp %s, #%d", r3(8), o&0xff), 2
-	case 0b00110:
-		return fmt.Sprintf("adds %s, #%d", r3(8), o&0xff), 2
-	case 0b00111:
-		return fmt.Sprintf("subs %s, #%d", r3(8), o&0xff), 2
-	case 0b01001:
-		target := (addr + 4&^3) + (o&0xff)<<2
-		return fmt.Sprintf("ldr %s, [pc, #%d] ; 0x%08x", r3(8), (o&0xff)<<2, target), 2
-	}
-
-	switch {
-	case o>>10 == 0b010000:
-		mns := [16]string{"ands", "eors", "lsls", "lsrs", "asrs", "adcs", "sbcs", "rors",
-			"tst", "rsbs", "cmp", "cmn", "orrs", "muls", "bics", "mvns"}
-		return fmt.Sprintf("%s %s, %s", mns[o>>6&0xf], r3(0), r3(3)), 2
-	case o>>10 == 0b010001:
-		rd := o&7 | o>>4&8
-		rm := o >> 3 & 0xf
-		switch o >> 8 & 3 {
-		case 0:
-			return fmt.Sprintf("add %s, %s", reg(rd), reg(rm)), 2
-		case 1:
-			return fmt.Sprintf("cmp %s, %s", reg(rd), reg(rm)), 2
-		case 2:
-			return fmt.Sprintf("mov %s, %s", reg(rd), reg(rm)), 2
-		default:
-			if o&(1<<7) != 0 {
-				return fmt.Sprintf("blx %s", reg(rm)), 2
-			}
-			return fmt.Sprintf("bx %s", reg(rm)), 2
-		}
-	case o>>12 == 0b0101:
-		mns := [8]string{"str", "strh", "strb", "ldrsb", "ldr", "ldrh", "ldrb", "ldrsh"}
-		return fmt.Sprintf("%s %s, [%s, %s]", mns[o>>9&7], r3(0), r3(3), r3(6)), 2
-	case o>>13 == 0b011:
-		imm := o >> 6 & 0x1f
-		if o&(1<<12) == 0 { // word
-			mn := "str"
-			if o&(1<<11) != 0 {
-				mn = "ldr"
-			}
-			return fmt.Sprintf("%s %s, [%s, #%d]", mn, r3(0), r3(3), imm<<2), 2
-		}
-		mn := "strb"
-		if o&(1<<11) != 0 {
-			mn = "ldrb"
-		}
-		return fmt.Sprintf("%s %s, [%s, #%d]", mn, r3(0), r3(3), imm), 2
-	case o>>12 == 0b1000:
-		mn := "strh"
-		if o&(1<<11) != 0 {
-			mn = "ldrh"
-		}
-		return fmt.Sprintf("%s %s, [%s, #%d]", mn, r3(0), r3(3), o>>6&0x1f<<1), 2
-	case o>>12 == 0b1001:
-		mn := "str"
-		if o&(1<<11) != 0 {
-			mn = "ldr"
-		}
-		return fmt.Sprintf("%s %s, [sp, #%d]", mn, r3(8), o&0xff<<2), 2
-	case o>>12 == 0b1010:
-		if o&(1<<11) == 0 {
-			return fmt.Sprintf("adr %s, pc+#%d", r3(8), o&0xff<<2), 2
-		}
-		return fmt.Sprintf("add %s, sp, #%d", r3(8), o&0xff<<2), 2
-	case o>>8 == 0b1011_0000:
-		if o&(1<<7) != 0 {
-			return fmt.Sprintf("sub sp, #%d", (o&0x7f)<<2), 2
-		}
-		return fmt.Sprintf("add sp, #%d", (o&0x7f)<<2), 2
-	case o>>8 == 0b1011_0010:
-		mns := [4]string{"sxth", "sxtb", "uxth", "uxtb"}
-		return fmt.Sprintf("%s %s, %s", mns[o>>6&3], r3(0), r3(3)), 2
-	case o>>9 == 0b1011_010:
-		return fmt.Sprintf("push {%s}", regList(o&0xff, o&(1<<8) != 0, "lr")), 2
-	case o>>9 == 0b1011_110:
-		return fmt.Sprintf("pop {%s}", regList(o&0xff, o&(1<<8) != 0, "pc")), 2
-	case o>>8 == 0b1011_1010:
-		mns := map[uint32]string{0: "rev", 1: "rev16", 3: "revsh"}
-		if mn, ok := mns[o>>6&3]; ok {
-			return fmt.Sprintf("%s %s, %s", mn, r3(0), r3(3)), 2
-		}
-	case o>>8 == 0b1011_1110:
-		return fmt.Sprintf("bkpt #%d", o&0xff), 2
-	case o>>8 == 0b1011_1111:
-		hints := map[uint32]string{0x00: "nop", 0x10: "yield", 0x20: "wfe", 0x30: "wfi", 0x40: "sev"}
-		if h, ok := hints[o&0xff]; ok {
-			return h, 2
-		}
-		return "hint", 2
-	case o>>11 == 0b11000:
-		return fmt.Sprintf("stmia %s!, {%s}", r3(8), regList(o&0xff, false, "")), 2
-	case o>>11 == 0b11001:
-		return fmt.Sprintf("ldmia %s!, {%s}", r3(8), regList(o&0xff, false, "")), 2
-	case o>>12 == 0b1101:
-		cond := o >> 8 & 0xf
-		conds := [14]string{"eq", "ne", "cs", "cc", "mi", "pl", "vs", "vc", "hi", "ls", "ge", "lt", "gt", "le"}
-		switch cond {
-		case 0xe:
-			return "udf", 2
-		case 0xf:
-			return fmt.Sprintf("svc #%d", o&0xff), 2
-		}
-		off := signExtend(o&0xff, 8) << 1
-		return fmt.Sprintf("b%s 0x%08x", conds[cond], addr+4+off), 2
-	case o>>11 == 0b11100:
-		off := signExtend(o&0x7ff, 11) << 1
-		return fmt.Sprintf("b 0x%08x", addr+4+off), 2
-	case o>>11 == 0b11110:
-		l := uint32(lo)
-		if l>>14 == 0b11 && l&(1<<12) != 0 {
-			s := o >> 10 & 1
-			imm10 := o & 0x3ff
-			j1 := l >> 13 & 1
-			j2 := l >> 11 & 1
-			imm11 := l & 0x7ff
-			i1 := ^(j1 ^ s) & 1
-			i2 := ^(j2 ^ s) & 1
-			off := signExtend(s<<24|i1<<23|i2<<22|imm10<<12|imm11<<1, 25)
-			return fmt.Sprintf("bl 0x%08x", addr+4+off), 4
-		}
-	}
-	return fmt.Sprintf(".hword 0x%04x", op), 2
+	in := Decode(addr, op, lo)
+	return in.Text, in.Size
 }
 
 func imm5Shift(o uint32) uint32 {

@@ -89,6 +89,12 @@ type Trace struct {
 	// address.
 	PCs map[uint32]*PCSample
 
+	// SPMin is the lowest stack-pointer value observed after any retired
+	// instruction (including exception stacking, which lowers SP before
+	// the handler's first instruction retires). It starts at ^uint32(0);
+	// StackPeak converts it to a depth.
+	SPMin uint32
+
 	// OnInstr, when set, streams every retired instruction. It runs
 	// after the counters above are updated.
 	OnInstr func(InstrInfo)
@@ -96,7 +102,16 @@ type Trace struct {
 
 // NewTrace returns an empty trace ready to attach to a CPU.
 func NewTrace() *Trace {
-	return &Trace{PCs: make(map[uint32]*PCSample)}
+	return &Trace{PCs: make(map[uint32]*PCSample), SPMin: ^uint32(0)}
+}
+
+// StackPeak is the deepest stack usage observed, in bytes below
+// initialSP (the reset value of SP). Zero if the stack never grew.
+func (t *Trace) StackPeak(initialSP uint32) uint32 {
+	if t.SPMin >= initialSP {
+		return 0
+	}
+	return initialSP - t.SPMin
 }
 
 // EnableTrace attaches a fresh trace to the CPU and returns it.
@@ -138,6 +153,9 @@ func (t *Trace) CPI() float64 {
 // counters snapshotted before the fetch, so the deltas cover the fetch
 // and all data accesses the instruction made.
 func (t *Trace) record(c *CPU, addr, op uint32, cycles uint64, fr, sr, sw uint64) {
+	if c.R[SP] < t.SPMin {
+		t.SPMin = c.R[SP]
+	}
 	cl := classifyOp(op)
 	t.ClassCycles[cl] += cycles
 	t.ClassInstrs[cl]++

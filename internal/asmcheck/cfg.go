@@ -1,0 +1,233 @@
+package asmcheck
+
+import (
+	"sort"
+
+	"github.com/neuro-c/neuroc/internal/armv6m"
+)
+
+// Control-flow recovery: recursive-traversal decoding from the root
+// symbols. BL targets become new functions; within a function,
+// reachable instructions are partitioned into basic blocks. Literal
+// pools and data sections are never decoded because well-formed code
+// never reaches them — reaching one is exactly the DECODE_UNKNOWN /
+// CFG_FALLTHROUGH defect the checker exists to catch.
+
+type instr struct {
+	armv6m.Instr
+	Line      int
+	LoopBound int
+}
+
+type block struct {
+	start  uint32
+	instrs []instr
+	succs  []*block
+	preds  []*block
+}
+
+// last returns the block's final instruction.
+func (b *block) last() *instr { return &b.instrs[len(b.instrs)-1] }
+
+type fn struct {
+	addr      uint32
+	name      string
+	entry     *block
+	blocks    map[uint32]*block
+	blockList []*block // deterministic order (by start address)
+	callSites []uint32 // BL instruction addresses
+	callees   []uint32 // BL target addresses (parallel to callSites)
+}
+
+// decodeAt decodes one instruction and attaches its source metadata.
+func (ck *checker) decodeAt(addr uint32) (instr, bool) {
+	off := int64(addr) - int64(ck.p.Base)
+	if addr&1 != 0 || off < 0 || off+2 > int64(len(ck.p.Code)) {
+		return instr{}, false
+	}
+	op := uint16(ck.p.Code[off]) | uint16(ck.p.Code[off+1])<<8
+	var lo uint16
+	if off+4 <= int64(len(ck.p.Code)) {
+		lo = uint16(ck.p.Code[off+2]) | uint16(ck.p.Code[off+3])<<8
+	}
+	in := instr{Instr: armv6m.Decode(addr, op, lo)}
+	if m, ok := ck.p.InstrAt(addr); ok {
+		in.Line = m.Line
+		in.LoopBound = m.LoopBound
+	}
+	return in, true
+}
+
+// succsOf lists the successor addresses of in within its function,
+// recording control-flow violations for unanalyzable transfers. BL falls
+// through (the call edge is handled interprocedurally).
+func (ck *checker) succsOf(f *fn, in *instr) []uint32 {
+	next := in.Addr + uint32(in.Size)
+	fallthrough_ := func() []uint32 {
+		if next >= ck.cfg.CodeLimit {
+			ck.violate(CodeCFGFallthrough, f, in.Addr, "execution falls past the end of the code region (0x%08x)", ck.cfg.CodeLimit)
+			return nil
+		}
+		return []uint32{next}
+	}
+	branch := func(target uint32) []uint32 {
+		if target < ck.p.Base || target >= ck.cfg.CodeLimit {
+			ck.violate(CodeCFGFallthrough, f, in.Addr, "branch target 0x%08x outside the code region", target)
+			return nil
+		}
+		return []uint32{target}
+	}
+	switch in.Kind {
+	case armv6m.KindBranch:
+		return branch(in.Target)
+	case armv6m.KindBranchCond:
+		return append(branch(in.Target), fallthrough_()...)
+	case armv6m.KindBL:
+		return fallthrough_()
+	case armv6m.KindBX, armv6m.KindBKPT, armv6m.KindPop:
+		if in.Kind == armv6m.KindPop && !in.Terminator() {
+			return fallthrough_()
+		}
+		return nil
+	case armv6m.KindBLX:
+		ck.violate(CodeCFGIndirect, f, in.Addr, "indirect call (blx) is not analyzable")
+		return nil
+	case armv6m.KindSVC, armv6m.KindUDF:
+		ck.violate(CodeCFGTrap, f, in.Addr, "reachable trap instruction (%s)", in.Text)
+		return nil
+	case armv6m.KindUnknown:
+		ck.violate(CodeDecodeUnknown, f, in.Addr, "reachable halfword 0x%04x does not decode (data in the instruction stream?)", in.Op)
+		return nil
+	case armv6m.KindALU:
+		if in.WritesPC {
+			ck.violate(CodeCFGIndirect, f, in.Addr, "PC-writing ALU instruction (%s) is not analyzable", in.Text)
+			return nil
+		}
+		return fallthrough_()
+	default:
+		return fallthrough_()
+	}
+}
+
+// discover builds CFGs for the given roots and, transitively, every BL
+// target they reach.
+func (ck *checker) discover(roots []uint32) {
+	queue := append([]uint32{}, roots...)
+	for len(queue) > 0 {
+		addr := queue[0]
+		queue = queue[1:]
+		if _, done := ck.funcs[addr]; done {
+			continue
+		}
+		f := ck.buildFn(addr)
+		ck.funcs[addr] = f
+		ck.funcOrder = append(ck.funcOrder, addr)
+		queue = append(queue, f.callees...)
+	}
+}
+
+// buildFn decodes the function at addr and partitions it into blocks.
+func (ck *checker) buildFn(addr uint32) *fn {
+	f := &fn{addr: addr, name: ck.funcName(addr), blocks: make(map[uint32]*block)}
+	decoded := make(map[uint32]*instr)
+	succs := make(map[uint32][]uint32)
+	leaders := map[uint32]bool{addr: true}
+
+	if _, ok := ck.decodeAt(addr); !ok {
+		ck.violate(CodeDecodeUnknown, f, addr, "function entry outside the program image")
+		return f
+	}
+	work := []uint32{addr}
+	for len(work) > 0 {
+		a := work[len(work)-1]
+		work = work[:len(work)-1]
+		if _, seen := decoded[a]; seen {
+			continue
+		}
+		in, ok := ck.decodeAt(a)
+		if !ok {
+			ck.violate(CodeDecodeUnknown, f, a, "control flow leaves the program image")
+			continue
+		}
+		decoded[a] = &in
+		ss := ck.succsOf(f, &in)
+		succs[a] = ss
+		if in.Kind == armv6m.KindBL {
+			f.callSites = append(f.callSites, a)
+			f.callees = append(f.callees, in.Target)
+		}
+		// Any successor set other than plain fallthrough makes each
+		// successor a block leader.
+		if len(ss) != 1 || ss[0] != a+uint32(in.Size) {
+			for _, s := range ss {
+				leaders[s] = true
+			}
+		}
+		work = append(work, ss...)
+	}
+
+	addrs := make([]uint32, 0, len(decoded))
+	for a := range decoded {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+
+	var cur *block
+	for _, a := range addrs {
+		in := decoded[a]
+		// A new block starts at a leader or after a control-flow break.
+		if cur == nil || leaders[a] || !contiguous(cur, a) {
+			cur = &block{start: a}
+			f.blocks[a] = cur
+			f.blockList = append(f.blockList, cur)
+		}
+		cur.instrs = append(cur.instrs, *in)
+		// Block ends when the next address is a leader or flow diverges.
+		ss := succs[a]
+		if len(ss) != 1 || ss[0] != a+uint32(in.Size) || leaders[ss[0]] {
+			cur = nil
+		}
+	}
+	// Wire edges from each block's final instruction.
+	for _, b := range f.blockList {
+		for _, s := range succs[b.last().Addr] {
+			t := f.blocks[s]
+			if t == nil {
+				// Successor decoded but mid-block: can only happen for a
+				// branch into the middle of a block we merged; split is
+				// avoided by the leader rule, so this is a safety net.
+				continue
+			}
+			b.succs = append(b.succs, t)
+			t.preds = append(t.preds, b)
+		}
+	}
+	f.entry = f.blocks[addr]
+	return f
+}
+
+// contiguous reports whether a directly follows the last instruction
+// currently in b.
+func contiguous(b *block, a uint32) bool {
+	l := b.last()
+	return l.Addr+uint32(l.Size) == a
+}
+
+// crossFunctionEdges flags control transfers (branches or fallthrough)
+// that land on another function's entry: a missing return falls through
+// into the next kernel, and a tail jump bypasses the AAPCS contract.
+func (ck *checker) crossFunctionEdges() {
+	for _, addr := range ck.funcOrder {
+		f := ck.funcs[addr]
+		for _, b := range f.blockList {
+			for _, s := range b.succs {
+				if s.start != f.addr {
+					if other, isFn := ck.funcs[s.start]; isFn {
+						ck.violate(CodeCFGFallthrough, f, b.last().Addr,
+							"control flow crosses into function %s without a call", other.name)
+					}
+				}
+			}
+		}
+	}
+}

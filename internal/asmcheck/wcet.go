@@ -1,0 +1,424 @@
+package asmcheck
+
+import (
+	"sort"
+
+	"github.com/neuro-c/neuroc/internal/armv6m"
+)
+
+// Worst-case bounds. Stack: the deepest local frame plus the deepest
+// callee chain, over the context call graph (a DFS that also catches
+// recursion). Cycles: per-function longest path over the CFG with
+// natural loops collapsed innermost-out, each multiplied by its
+// "asmcheck: loop N" bound; branches are charged as taken, matching the
+// emulator's published Cortex-M0 model. All arithmetic saturates at
+// Unbounded.
+
+func satAdd(a, b uint64) uint64 {
+	if a == Unbounded || b == Unbounded || a+b < a {
+		return Unbounded
+	}
+	return a + b
+}
+
+func satMul(a, b uint64) uint64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a == Unbounded || b == Unbounded || a > Unbounded/b {
+		return Unbounded
+	}
+	return a * b
+}
+
+// stackTotal is the worst-case stack depth (bytes) of the context,
+// including callees. path is the DFS stack for recursion detection.
+func (ck *checker) stackTotal(k ctxKey, path map[uint32]bool) int {
+	ci := ck.ctxs[k]
+	if ci == nil {
+		return 0
+	}
+	if ci.stackDone {
+		return ci.stackMemo
+	}
+	if ci.stackOnDFS {
+		ck.violate(CodeCFGRecursion, ck.funcs[k.addr], k.addr, "recursive call cycle through %s", ck.funcName(k.addr))
+		return ci.maxDepth
+	}
+	ci.stackOnDFS = true
+	total := ci.maxDepth
+	for _, c := range ci.calls {
+		if t := c.depth + ck.stackTotal(c.callee, path); t > total {
+			total = t
+		}
+	}
+	ci.stackOnDFS = false
+	ci.stackMemo, ci.stackDone = total, true
+	return total
+}
+
+// cycleBound is the worst-case cycle count of the context, including
+// callees.
+func (ck *checker) cycleBound(k ctxKey, _ map[uint32]bool) uint64 {
+	ci := ck.ctxs[k]
+	if ci == nil {
+		return 0
+	}
+	if ci.cycleDone {
+		return ci.cycleMemo
+	}
+	if ci.cycleOnDFS {
+		// Recursion: already flagged by stackTotal; the bound is simply
+		// not computable.
+		return Unbounded
+	}
+	ci.cycleOnDFS = true
+	siteCost := make(map[uint32]uint64)
+	for _, c := range ci.calls {
+		cb := ck.cycleBound(c.callee, nil)
+		if prev, ok := siteCost[c.at]; !ok || cb > prev {
+			siteCost[c.at] = cb
+		}
+	}
+	f := ck.funcs[k.addr]
+	var bound uint64
+	if f != nil && f.entry != nil {
+		bound = ck.fnWCET(f, siteCost)
+	}
+	ci.cycleOnDFS = false
+	ci.cycleMemo, ci.cycleDone = bound, true
+	return bound
+}
+
+// instrCost is the worst-case cost of one instruction: the decode
+// model's taken-path cycles plus flash wait states on the fetch and
+// (conservatively) every data access.
+func (ck *checker) instrCost(in *instr) uint64 {
+	c := uint64(in.MaxCycles(ck.cfg.Profile, ck.cfg.MulCycles))
+	if ws := ck.cfg.FlashWaitStates; ws > 0 {
+		c += uint64(ws) * uint64(1+in.MemAccesses())
+	}
+	return c
+}
+
+// blockCost sums a block's instruction costs, adding callee bounds at
+// call sites.
+func (ck *checker) blockCost(b *block, siteCost map[uint32]uint64) uint64 {
+	var c uint64
+	for i := range b.instrs {
+		in := &b.instrs[i]
+		c = satAdd(c, ck.instrCost(in))
+		if in.Kind == armv6m.KindBL {
+			c = satAdd(c, siteCost[in.Addr])
+		}
+	}
+	return c
+}
+
+// loopInfo is one natural loop: header, member blocks, iteration bound.
+type loopInfo struct {
+	header  *block
+	blocks  map[*block]bool
+	latches []*block
+	bound   uint64
+	parent  *loopInfo
+}
+
+// fnWCET computes the function's worst-case cycles for one context.
+func (ck *checker) fnWCET(f *fn, siteCost map[uint32]uint64) uint64 {
+	idom := dominators(f)
+	loops := ck.findLoops(f, idom)
+
+	// Iteration bounds come from "asmcheck: loop N" annotations on the
+	// latch (back-edge) branches; a loop with none is unbounded.
+	for _, l := range loops {
+		for _, latch := range l.latches {
+			if b := latch.last().LoopBound; uint64(b) > l.bound {
+				l.bound = uint64(b)
+			}
+		}
+		if l.bound == 0 {
+			at := l.latches[0].last().Addr
+			ck.violate(CodeCycleUnbounded, f, at,
+				"loop back edge to 0x%08x has no \"asmcheck: loop N\" bound", l.header.start)
+			l.bound = Unbounded
+		}
+	}
+
+	// Nesting: a loop's parent is the smallest other loop containing its
+	// header.
+	for _, l := range loops {
+		for _, outer := range loops {
+			if outer == l || !outer.blocks[l.header] {
+				continue
+			}
+			if l.parent == nil || len(outer.blocks) < len(l.parent.blocks) {
+				l.parent = outer
+			}
+		}
+	}
+	// innermostLoop: the smallest loop containing each block.
+	innermost := make(map[*block]*loopInfo)
+	for _, l := range loops {
+		for b := range l.blocks {
+			if cur := innermost[b]; cur == nil || len(l.blocks) < len(cur.blocks) {
+				innermost[b] = l
+			}
+		}
+	}
+
+	// node is either a plain block or a collapsed loop. Each level's
+	// cost is the longest path through its DAG.
+	type node struct {
+		cost  uint64
+		succs map[*node]bool
+	}
+	// levelRep maps a block to its representative node at a level: the
+	// largest loop under (and distinct from) `in` that contains b, or b
+	// itself.
+	var loopNode func(l *loopInfo) *node
+	nodeOf := make(map[interface{}]*node)
+	getNode := func(key interface{}, cost func() uint64) *node {
+		if n, ok := nodeOf[key]; ok {
+			return n
+		}
+		n := &node{succs: make(map[*node]bool)}
+		nodeOf[key] = n
+		n.cost = cost()
+		return n
+	}
+	// topChild returns the outermost loop strictly inside `in` that
+	// contains b (or nil when b belongs to `in` directly).
+	topChild := func(b *block, in *loopInfo) *loopInfo {
+		l := innermost[b]
+		for l != nil && l.parent != in && l != in {
+			l = l.parent
+		}
+		if l == in {
+			return nil
+		}
+		return l
+	}
+	// longestPath over the nodes reachable from entry using only edges
+	// between members. Returns Unbounded on residual cycles
+	// (irreducible control flow).
+	longestPath := func(entry *node, members map[*node]bool) uint64 {
+		indeg := make(map[*node]int)
+		for n := range members {
+			for s := range n.succs {
+				if members[s] {
+					indeg[s]++
+				}
+			}
+		}
+		var topo []*node
+		q := []*node{}
+		for n := range members {
+			if indeg[n] == 0 {
+				q = append(q, n)
+			}
+		}
+		for len(q) > 0 {
+			n := q[0]
+			q = q[1:]
+			topo = append(topo, n)
+			for s := range n.succs {
+				if !members[s] {
+					continue
+				}
+				indeg[s]--
+				if indeg[s] == 0 {
+					q = append(q, s)
+				}
+			}
+		}
+		if len(topo) != len(members) {
+			return Unbounded // cycle survived loop collapsing
+		}
+		dist := map[*node]uint64{entry: entry.cost}
+		var worst uint64 = entry.cost
+		for _, n := range topo {
+			d, reachable := dist[n]
+			if !reachable {
+				continue
+			}
+			if d > worst {
+				worst = d
+			}
+			for s := range n.succs {
+				if !members[s] {
+					continue
+				}
+				if nd := satAdd(d, s.cost); nd > dist[s] {
+					dist[s] = nd
+				}
+			}
+		}
+		return worst
+	}
+	// buildLevel constructs the node DAG for one region (the whole
+	// function when l == nil, a loop body otherwise) and returns
+	// (entryNode, members).
+	buildLevel := func(blocks []*block, l *loopInfo, entryBlock *block) (*node, map[*node]bool) {
+		members := make(map[*node]bool)
+		repOf := func(b *block) *node {
+			if c := topChild(b, l); c != nil {
+				return getNode(c, func() uint64 { return loopNode(c).cost })
+			}
+			return getNode(b, func() uint64 { return ck.blockCost(b, siteCost) })
+		}
+		for _, b := range blocks {
+			members[repOf(b)] = true
+		}
+		for _, b := range blocks {
+			from := repOf(b)
+			for _, s := range b.succs {
+				if l != nil && !l.blocks[s] {
+					continue // edge exits the loop; charged at the parent level
+				}
+				if l != nil && s == l.header {
+					continue // back edge: folded into the iteration count
+				}
+				to := repOf(s)
+				if to != from {
+					from.succs[to] = true
+				}
+			}
+		}
+		return repOf(entryBlock), members
+	}
+	loopMemo := make(map[*loopInfo]*node)
+	loopNode = func(l *loopInfo) *node {
+		if n, ok := loopMemo[l]; ok {
+			return n
+		}
+		n := &node{succs: make(map[*node]bool)}
+		loopMemo[l] = n
+		var body []*block
+		for b := range l.blocks {
+			body = append(body, b)
+		}
+		sort.Slice(body, func(i, j int) bool { return body[i].start < body[j].start })
+		entry, members := buildLevel(body, l, l.header)
+		n.cost = satMul(l.bound, longestPath(entry, members))
+		return n
+	}
+
+	// Top level: blocks outside any loop, plus outermost loops.
+	entry, members := buildLevel(f.blockList, nil, f.entry)
+	return longestPath(entry, members)
+}
+
+// dominators computes immediate dominators with the standard iterative
+// algorithm over a reverse postorder (Cooper/Harvey/Kennedy); block
+// counts here are tiny.
+func dominators(f *fn) map[*block]*block {
+	// Reverse postorder.
+	var order []*block
+	index := make(map[*block]int)
+	seen := make(map[*block]bool)
+	var dfs func(b *block)
+	dfs = func(b *block) {
+		seen[b] = true
+		for _, s := range b.succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		order = append(order, b)
+	}
+	dfs(f.entry)
+	// order is postorder; reverse it.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	for i, b := range order {
+		index[b] = i
+	}
+
+	idom := make(map[*block]*block)
+	idom[f.entry] = f.entry
+	intersect := func(a, b *block) *block {
+		for a != b {
+			for index[a] > index[b] {
+				a = idom[a]
+			}
+			for index[b] > index[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			if b == f.entry {
+				continue
+			}
+			var newIdom *block
+			for _, p := range b.preds {
+				if idom[p] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// dominates reports whether a dominates b under idom.
+func dominates(idom map[*block]*block, a, b *block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		next := idom[b]
+		if next == nil || next == b {
+			return false
+		}
+		b = next
+	}
+}
+
+// findLoops identifies natural loops from back edges (latch -> header
+// where the header dominates the latch), merging loops that share a
+// header.
+func (ck *checker) findLoops(f *fn, idom map[*block]*block) []*loopInfo {
+	byHeader := make(map[*block]*loopInfo)
+	var loops []*loopInfo
+	for _, b := range f.blockList {
+		for _, s := range b.succs {
+			if idom[b] == nil || !dominates(idom, s, b) {
+				continue
+			}
+			l := byHeader[s]
+			if l == nil {
+				l = &loopInfo{header: s, blocks: map[*block]bool{s: true}}
+				byHeader[s] = l
+				loops = append(loops, l)
+			}
+			l.latches = append(l.latches, b)
+			// Body: blocks that reach the latch without passing the header.
+			work := []*block{b}
+			for len(work) > 0 {
+				x := work[len(work)-1]
+				work = work[:len(work)-1]
+				if l.blocks[x] {
+					continue
+				}
+				l.blocks[x] = true
+				work = append(work, x.preds...)
+			}
+		}
+	}
+	return loops
+}

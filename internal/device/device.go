@@ -28,6 +28,11 @@ type Result struct {
 	// Trace carries the full cycle-attribution breakdown when the
 	// inference ran through RunProfiled; nil for plain Run.
 	Trace *armv6m.Trace
+
+	// StackPeakBytes is the deepest stack usage observed below the reset
+	// SP (exception stacking included). Only measured when a trace was
+	// attached (RunProfiled); zero otherwise.
+	StackPeakBytes uint32
 }
 
 // LatencyMS converts cycles to milliseconds at the device clock. A
@@ -92,6 +97,7 @@ func (d *Device) run(input []int8, trace *armv6m.Trace) (*Result, error) {
 	if err := d.CPU.Reset(); err != nil {
 		return nil, err
 	}
+	initialSP := d.CPU.R[armv6m.SP]
 	d.CPU.Cycles = 0
 	d.CPU.Instructions = 0
 	d.CPU.Trace = trace
@@ -113,7 +119,11 @@ func (d *Device) run(input []int8, trace *armv6m.Trace) (*Result, error) {
 		}
 		out[i] = int8(uint8(v))
 	}
-	return &Result{Output: out, Cycles: d.CPU.Cycles, Instructions: d.CPU.Instructions, Trace: trace}, nil
+	res := &Result{Output: out, Cycles: d.CPU.Cycles, Instructions: d.CPU.Instructions, Trace: trace}
+	if trace != nil {
+		res.StackPeakBytes = trace.StackPeak(initialSP)
+	}
+	return res, nil
 }
 
 // ArmSysTick arms the emulated periodic interrupt with the given period

@@ -27,10 +27,10 @@ func Im2Col() (name, src string) {
 	strb r6, [r3]
 	adds r3, #1
 	subs r4, #1
-	bne {N}_loop
+	bne {N}_loop           @ asmcheck: loop {LOOP}
 	pop {r4-r7, pc}
 `, map[string]int{"IN": DescIn, "K0": DescK0, "K1": DescK1, "K2": DescK2}, name)
-	return name, src
+	return name, withLoopBounds(src)
 }
 
 // ConvGEMM returns the K×(S²)×(M²) multiply kernel over the
@@ -65,7 +65,7 @@ func ConvGEMM() (name, src string) {
 	adds r1, r1, r6
 	adds r2, #1
 	cmp r2, r5
-	blo {N}_s
+	blo {N}_s              @ asmcheck: loop {LOOP}
 	mov r6, r8
 	str r1, [r6]
 	adds r6, #4
@@ -74,18 +74,18 @@ func ConvGEMM() (name, src string) {
 	mov r6, r11
 	subs r6, #1
 	mov r11, r6
-	bne {N}_k
+	bne {N}_k              @ asmcheck: loop {LOOP}
 	mov r6, r10
 	adds r6, r6, r5        @ next im2col row
 	mov r10, r6
 	mov r6, r12
 	subs r6, #1
 	mov r12, r6
-	bne {N}_m
+	bne {N}_m              @ asmcheck: loop {LOOP}
 	pop {r4-r7, pc}
 `, map[string]int{
 		"ACC": DescAcc, "IDIM": DescInDim, "ODIM": DescOutDim,
 		"K0": DescK0, "K1": DescK1, "K2": DescK2,
 	}, name)
-	return name, src
+	return name, withLoopBounds(src)
 }

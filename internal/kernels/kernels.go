@@ -64,6 +64,23 @@ const (
 	FlagPerNeuron = 1 << 1
 )
 
+// MaxLoopBound is the conservative iteration bound annotated on every
+// generated loop back edge ("@ asmcheck: loop N", consumed by
+// internal/asmcheck's worst-case cycle analysis). Kernels are shared
+// across layers of one image, so the annotation cannot depend on a
+// single layer's dimensions; instead it is a device-capacity bound:
+// every per-loop trip count (output neurons, connections per column,
+// gathered elements) is limited by what fits in the 16 KB SRAM, so
+// 32768 dominates any deployable configuration while keeping nested
+// worst-case products comfortably inside uint64.
+const MaxLoopBound = 32768
+
+// withLoopBounds substitutes the {LOOP} annotation placeholder in a
+// generated kernel with MaxLoopBound.
+func withLoopBounds(src string) string {
+	return strings.ReplaceAll(src, "{LOOP}", fmt.Sprintf("%d", MaxLoopBound))
+}
+
 // load emits "load element into reg from [cursor], advance cursor" for
 // the given element width (1 or 2 bytes, zero-extended).
 func load(reg, cursor string, width int) string {
@@ -86,7 +103,7 @@ func zeroAcc(name string) string {
 %s_zero:
 	stmia r1!, {r3}
 	subs r2, #1
-	bne %s_zero
+	bne %s_zero            @ asmcheck: loop {LOOP}
 `, DescAcc, DescOutDim, name, name)
 }
 
@@ -152,7 +169,7 @@ func Requant() (name, src string) {
 	strb r6, [r2]
 	adds r2, #1
 	subs r5, #1
-	bne {N}_tbl
+	bne {N}_tbl            @ asmcheck: loop {LOOP}
 	pop {r4-r7, pc}
 {N}_single:
 	ldrh r7, [r3]
@@ -188,14 +205,14 @@ func Requant() (name, src string) {
 	strb r6, [r2]
 	adds r2, #1
 	subs r5, #1
-	bne {N}_sgl
+	bne {N}_sgl            @ asmcheck: loop {LOOP}
 	pop {r4-r7, pc}
 `
-	src = expand(tmpl, map[string]int{
+	src = withLoopBounds(expand(tmpl, map[string]int{
 		"ACC": DescAcc, "OUT": DescOut, "MULT": DescMult, "BIAS": DescBias,
 		"ODIM": DescOutDim, "PRE": DescPre, "POST": DescPost, "FLAGS": DescFlags,
 		"FRELU": FlagReLU, "FPN": FlagPerNeuron,
-	}, name)
+	}, name))
 	return name, src
 }
 
@@ -233,7 +250,7 @@ func Dense() (name, src string) {
 	adds r1, r1, r6
 	adds r2, #1
 	cmp r2, r5
-	blo %s_i
+	blo %s_i               @ asmcheck: loop {LOOP}
 	mov r6, r8
 	str r1, [r6]
 	adds r6, #4
@@ -242,10 +259,10 @@ func Dense() (name, src string) {
 	mov r6, r9
 	subs r6, #1
 	mov r9, r6
-	bne %s_o
+	bne %s_o               @ asmcheck: loop {LOOP}
 	pop {r4-r7, pc}
 `, name, DescIn, DescK0, DescInDim, DescAcc, DescOutDim, name, name, name, name)
-	return name, src
+	return name, withLoopBounds(src)
 }
 
 // passMixed emits one polarity pass of the mixed/count+absolute-index
@@ -265,14 +282,14 @@ func passMixed(name, tag, op string, cntOff, idxOff, countW, idxW int) string {
 %s	ldrsb r5, [r1, r5]
 	%s r7, r7, r5
 	subs r6, #1
-	bne %s_%sk
+	bne %s_%sk             @ asmcheck: loop {LOOP}
 %s_%ss:
 	str r7, [r2]
 	adds r2, #4
 	mov r5, r11
 	subs r5, #1
 	mov r11, r5
-	bne %s_%sc
+	bne %s_%sc             @ asmcheck: loop {LOOP}
 `, DescAcc, cntOff, idxOff, DescOutDim,
 		name, tag,
 		load("r6", "r3", countW),
@@ -297,5 +314,5 @@ func Mixed(countW, idxW int) (name, src string) {
 		passMixed(name, "p", "adds", DescK0, DescK1, countW, idxW) +
 		passMixed(name, "n", "subs", DescK2, DescK3, countW, idxW) +
 		"\tpop {r4-r7, pc}\n"
-	return name, src
+	return name, withLoopBounds(src)
 }

@@ -1,0 +1,156 @@
+package kernels
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Self-check harnesses: every kernel variant paired with a standalone
+// program that places its descriptor and structure tables in flash and
+// its activations/accumulators in SRAM, exactly like a built model
+// image. internal/asmcheck runs its strict analysis over these programs
+// (see kernels_test.go and cmd/asmcheck -kernels), which is what lets
+// the checker prove memory safety: the descriptor pointer is a flash
+// constant, so field loads resolve to the real buffer addresses.
+
+// SRAM placement used by the self-check descriptors.
+const (
+	selfIn  = 0x2000_0000 // input activations
+	selfOut = 0x2000_0100 // output activations
+	selfAcc = 0x2000_0200 // int32 accumulators
+	selfBuf = 0x2000_0400 // im2col / GEMM scratch matrix
+)
+
+// Variant is one generated kernel plus its self-check harness.
+type Variant struct {
+	Name    string // kernel entry symbol
+	Src     string // kernel source alone
+	Harness string // entry + kernel + descriptor + tables, assembles standalone
+}
+
+// selfDesc is the 16-word descriptor as assembler expressions, all
+// fields zero except the common buffer pointers and dimensions.
+func selfDesc(inDim, outDim int) [16]string {
+	var d [16]string
+	for i := range d {
+		d[i] = "0"
+	}
+	d[DescIn/4] = fmt.Sprintf("0x%08x", selfIn)
+	d[DescOut/4] = fmt.Sprintf("0x%08x", selfOut)
+	d[DescAcc/4] = fmt.Sprintf("0x%08x", selfAcc)
+	d[DescInDim/4] = fmt.Sprintf("%d", inDim)
+	d[DescOutDim/4] = fmt.Sprintf("%d", outDim)
+	return d
+}
+
+// selfHarness wraps a kernel in an entry stub plus its data section.
+// Table sizes below are multiples of 4 so every label stays
+// word-aligned regardless of order.
+func selfHarness(kname, ksrc string, desc [16]string, tables string) string {
+	var b strings.Builder
+	b.WriteString("entry:\n")
+	b.WriteString("\tldr r0, =desc\n")
+	fmt.Fprintf(&b, "\tbl %s\n", kname)
+	b.WriteString("\tbkpt #0\n")
+	b.WriteString("\t.pool\n")
+	b.WriteString(ksrc)
+	b.WriteString("\t.align 4\n")
+	b.WriteString("desc:\n")
+	for _, w := range desc {
+		fmt.Fprintf(&b, "\t.word %s\n", w)
+	}
+	b.WriteString(tables)
+	return b.String()
+}
+
+// pad rounds a table size up to a word multiple.
+func pad(n int) int { return (n + 3) &^ 3 }
+
+// Variants enumerates every kernel the generators can emit — all
+// encodings at all element widths, mirroring the deployment search
+// space — each with a harness program for static verification.
+func Variants() []Variant {
+	var vs []Variant
+	add := func(name, src string, desc [16]string, tables string) {
+		vs = append(vs, Variant{Name: name, Src: src, Harness: selfHarness(name, src, desc, tables)})
+	}
+	table := func(label string, size int) string {
+		return fmt.Sprintf("%s:\n\t.space %d\n", label, pad(size))
+	}
+	const inDim, outDim, conns = 8, 4, 16
+
+	{
+		name, src := Requant()
+		d := selfDesc(inDim, outDim)
+		d[DescMult/4], d[DescBias/4] = "mtbl", "btbl"
+		d[DescPre/4], d[DescPost/4] = "1", "2"
+		d[DescFlags/4] = fmt.Sprintf("%d", FlagReLU|FlagPerNeuron)
+		add(name, src, d, table("mtbl", 2*outDim)+table("btbl", 2*outDim))
+	}
+	{
+		name, src := Dense()
+		d := selfDesc(inDim, outDim)
+		d[DescK0/4] = "wtbl"
+		add(name, src, d, table("wtbl", inDim*outDim))
+	}
+	{
+		name, src := Im2Col()
+		d := selfDesc(inDim, outDim)
+		d[DescK0/4] = "otbl"
+		d[DescK1/4] = fmt.Sprintf("0x%08x", selfBuf)
+		d[DescK2/4] = fmt.Sprintf("%d", conns)
+		add(name, src, d, table("otbl", 2*conns))
+	}
+	{
+		name, src := ConvGEMM()
+		d := selfDesc(4, 2) // in_dim = S², out_dim = K
+		d[DescK0/4] = "ftbl"
+		d[DescK1/4] = fmt.Sprintf("0x%08x", selfBuf)
+		d[DescK2/4] = "4" // M²
+		add(name, src, d, table("ftbl", 2*4))
+	}
+	for _, cw := range []int{1, 2} {
+		{
+			name, src := Block(cw)
+			d := selfDesc(inDim, outDim)
+			d[DescK0/4] = "1" // one block
+			d[DescK1/4] = "brec"
+			tables := "brec:\n\t.word 0, bpc, bpi, bnc, bni\n" +
+				table("bpc", cw*outDim) + table("bpi", conns) +
+				table("bnc", cw*outDim) + table("bni", conns)
+			add(name, src, d, tables)
+		}
+		for _, iw := range []int{1, 2} {
+			{
+				name, src := Mixed(cw, iw)
+				d := selfDesc(inDim, outDim)
+				d[DescK0/4], d[DescK1/4] = "pcnt", "pidx"
+				d[DescK2/4], d[DescK3/4] = "ncnt", "nidx"
+				tables := table("pcnt", cw*outDim) + table("pidx", iw*conns) +
+					table("ncnt", cw*outDim) + table("nidx", iw*conns)
+				add(name, src, d, tables)
+			}
+			{
+				name, src := CSC(cw, iw) // ptrW, idxW
+				d := selfDesc(inDim, outDim)
+				d[DescK0/4], d[DescK1/4] = "pptr", "pidx"
+				d[DescK2/4], d[DescK3/4] = "nptr", "nidx"
+				tables := table("pptr", cw*(outDim+1)) + table("pidx", iw*conns) +
+					table("nptr", cw*(outDim+1)) + table("nidx", iw*conns)
+				add(name, src, d, tables)
+			}
+			for _, dw := range []int{1, 2} {
+				name, src := Delta(cw, iw, dw) // countW, firstW, deltaW
+				d := selfDesc(inDim, outDim)
+				d[DescK0/4], d[DescK1/4], d[DescK2/4] = "pcnt", "pfst", "pdlt"
+				d[DescK3/4], d[DescK4/4], d[DescK5/4] = "ncnt", "nfst", "ndlt"
+				tables := table("pcnt", cw*outDim) + table("pfst", iw*outDim) +
+					table("pdlt", dw*conns) +
+					table("ncnt", cw*outDim) + table("nfst", iw*outDim) +
+					table("ndlt", dw*conns)
+				add(name, src, d, tables)
+			}
+		}
+	}
+	return vs
+}

@@ -1,0 +1,55 @@
+package kernels
+
+import (
+	"testing"
+
+	"github.com/neuro-c/neuroc/internal/armv6m"
+	"github.com/neuro-c/neuroc/internal/asmcheck"
+	"github.com/neuro-c/neuroc/internal/thumb"
+)
+
+// Every generated kernel variant must pass the strict static checks:
+// CFG well-formed, AAPCS contracts hold, every store proven safe, stack
+// and cycle bounds finite.
+func TestVariantsPassStrictAsmcheck(t *testing.T) {
+	vs := Variants()
+	if len(vs) < 16 {
+		t.Fatalf("expected at least 16 variants, got %d", len(vs))
+	}
+	for _, v := range vs {
+		t.Run(v.Name, func(t *testing.T) {
+			p, err := thumb.Assemble(v.Harness, armv6m.FlashBase)
+			if err != nil {
+				t.Fatalf("harness does not assemble: %v", err)
+			}
+			cfg := asmcheck.DefaultConfig()
+			cfg.Strict = true
+			cfg.StackBudget = 1024
+			desc, err := p.Symbol("desc")
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.CodeLimit = desc // data section starts at the descriptor
+			rep, err := asmcheck.Check(p, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, viol := range rep.Violations {
+				t.Errorf("%s", viol.String())
+			}
+			fr := rep.Func(v.Name)
+			if fr == nil {
+				t.Fatalf("no report for %s", v.Name)
+			}
+			if fr.CycleBound == asmcheck.Unbounded {
+				t.Error("cycle bound is unbounded")
+			}
+			if fr.TotalStack == 0 {
+				t.Error("kernel reports zero stack usage despite push {r4-r7, lr}")
+			}
+			if rep.StackBound < fr.TotalStack {
+				t.Errorf("program stack bound %d < kernel stack %d", rep.StackBound, fr.TotalStack)
+			}
+		})
+	}
+}

@@ -27,14 +27,14 @@ func passCSC(name, tag, op string, ptrOff, idxOff, ptrW, idxW int) string {
 	bhs %s_%ss
 %s	ldrsb r5, [r1, r5]
 	%s r7, r7, r5
-	b %s_%sk
+	b %s_%sk               @ asmcheck: loop {LOOP}
 %s_%ss:
 	str r7, [r2]
 	adds r2, #4
 	mov r5, r11
 	subs r5, #1
 	mov r11, r5
-	bne %s_%sc
+	bne %s_%sc             @ asmcheck: loop {LOOP}
 `, DescAcc, ptrOff, ptrW, idxOff, DescOutDim,
 		name, tag,
 		load("r6", "r3", ptrW), scale,
@@ -59,7 +59,7 @@ func CSC(ptrW, idxW int) (name, src string) {
 		passCSC(name, "p", "adds", DescK0, DescK1, ptrW, idxW) +
 		passCSC(name, "n", "subs", DescK2, DescK3, ptrW, idxW) +
 		"\tpop {r4-r7, pc}\n"
-	return name, src
+	return name, withLoopBounds(src)
 }
 
 // passDelta emits one polarity pass of the delta traversal (paper
@@ -94,14 +94,14 @@ func passDelta(name, tag, op string, cntOff, firstOff, deltaOff, cw, fw, dw int)
 	adds r1, r1, r5        @ advance the moving pointer
 	%s r4, r4, r0
 	subs r3, #1
-	bne %s_%sk
+	bne %s_%sk             @ asmcheck: loop {LOOP}
 %s_%ss:
 	str r4, [r7]
 	adds r7, #4
 	mov r5, r11
 	subs r5, #1
 	mov r11, r5
-	bne %s_%sc
+	bne %s_%sc             @ asmcheck: loop {LOOP}
 `, cntOff, firstOff, deltaOff, DescAcc, DescIn, DescOutDim,
 		name, tag,
 		load("r3", "r6", cw),
@@ -127,7 +127,7 @@ func Delta(countW, firstW, deltaW int) (name, src string) {
 		passDelta(name, "p", "adds", DescK0, DescK1, DescK2, countW, firstW, deltaW) +
 		passDelta(name, "n", "subs", DescK3, DescK4, DescK5, countW, firstW, deltaW) +
 		"\tpop {r4-r7, pc}\n"
-	return name, src
+	return name, withLoopBounds(src)
 }
 
 // passBlockColumns emits the per-column loop of one polarity inside one
@@ -144,14 +144,14 @@ func passBlockColumns(name, tag, op string, cw int) string {
 	ldrsb r5, [r1, r5]
 	%s r7, r7, r5
 	subs r6, #1
-	bne %s_%sk
+	bne %s_%sk             @ asmcheck: loop {LOOP}
 %s_%ss:
 	str r7, [r2]
 	adds r2, #4
 	mov r5, r11
 	subs r5, #1
 	mov r11, r5
-	bne %s_%sc
+	bne %s_%sc             @ asmcheck: loop {LOOP}
 `, name, tag,
 		load("r6", "r3", cw),
 		name, tag,
@@ -200,7 +200,7 @@ func Block(countW int) (name, src string) {
 %s	mov r5, r12
 	subs r5, #1
 	mov r12, r5
-	bne %s_blk
+	bne %s_blk             @ asmcheck: loop {LOOP}
 	pop {r4-r7, pc}
 `, name,
 		zeroAcc(name),
@@ -211,5 +211,5 @@ func Block(countW int) (name, src string) {
 		DescAcc, DescOutDim,
 		passBlockColumns(name, "n", "subs", countW),
 		name)
-	return name, src
+	return name, withLoopBounds(src)
 }

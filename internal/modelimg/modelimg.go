@@ -19,11 +19,17 @@ import (
 	"strings"
 
 	"github.com/neuro-c/neuroc/internal/armv6m"
+	"github.com/neuro-c/neuroc/internal/asmcheck"
 	"github.com/neuro-c/neuroc/internal/encoding"
 	"github.com/neuro-c/neuroc/internal/kernels"
 	"github.com/neuro-c/neuroc/internal/quant"
 	"github.com/neuro-c/neuroc/internal/thumb"
 )
+
+// StackReserve is the byte budget reserved for the stack at the top of
+// SRAM. The static checker verifies every image's worst-case stack
+// depth (main thread + hardware exception frame + deepest ISR) fits.
+const StackReserve = 1024
 
 // EncodingChoice selects the adjacency encoding used for ternary layers.
 type EncodingChoice int
@@ -85,6 +91,11 @@ type Image struct {
 
 	// Asm is the generated source, kept for debugging and listings.
 	Asm string
+
+	// Check is the static-verification report for the image: every build
+	// is gated on it passing, so a non-nil Image carries a violation-free
+	// report with the proven worst-case stack and cycle bounds.
+	Check *asmcheck.Report
 }
 
 // TotalBytes is the program-memory footprint (flash bytes).
@@ -152,11 +163,10 @@ func BuildOpts(model *quant.Model, opts BuildOptions) (*Image, error) {
 	bufB := bufA + align4(maxDim)
 	accBuf := bufB + align4(maxDim)
 	heapEnd := accBuf + 4*maxOut
-	const stackReserve = 1024
-	if heapEnd+stackReserve > int(armv6m.SRAMBase)+armv6m.SRAMSize {
+	if heapEnd+StackReserve > int(armv6m.SRAMBase)+armv6m.SRAMSize {
 		return nil, &ErrNotDeployable{
 			What: "SRAM buffers",
-			Need: heapEnd - int(armv6m.SRAMBase) + stackReserve,
+			Need: heapEnd - int(armv6m.SRAMBase) + StackReserve,
 			Have: armv6m.SRAMSize,
 		}
 	}
@@ -210,11 +220,11 @@ func BuildOpts(model *quant.Model, opts BuildOptions) (*Image, error) {
 		if shift > 0 {
 			isr += fmt.Sprintf("\tlsls r0, r0, #%d\n", shift)
 		}
-		isr += `sth_loop:
+		isr += fmt.Sprintf(`sth_loop:
 	subs r0, #1
-	bne sth_loop
+	bne sth_loop           @ asmcheck: loop %d
 	bx lr
-`
+`, loops<<shift)
 	}
 
 	last := model.Layers[len(model.Layers)-1]
@@ -237,6 +247,30 @@ data_start:
 	if err != nil {
 		return nil, err
 	}
+
+	// Gate deployment on the static checks: CFG well-formed, AAPCS
+	// contracts hold, every store proven safe, stack and cycles bounded.
+	vcfg := asmcheck.DefaultConfig()
+	vcfg.Strict = true
+	vcfg.StackBudget = StackReserve
+	vcfg.CodeLimit = dataStart
+	vcfg.Roots = []string{"entry"}
+	if isr != "" {
+		vcfg.ISRRoots = []string{"systick_handler"}
+	}
+	report, err := asmcheck.Check(prog, vcfg)
+	if err != nil {
+		return nil, fmt.Errorf("modelimg: static check: %w", err)
+	}
+	if !report.OK() {
+		var msgs []string
+		for _, v := range report.Violations {
+			msgs = append(msgs, v.String())
+		}
+		return nil, fmt.Errorf("modelimg: image fails static verification:\n  %s",
+			strings.Join(msgs, "\n  "))
+	}
+
 	img := &Image{
 		Prog:      prog,
 		InAddr:    uint32(bufA),
@@ -245,8 +279,9 @@ data_start:
 		OutDim:    last.Out,
 		CodeBytes: int(dataStart - armv6m.FlashBase),
 		DataBytes: len(prog.Code) - int(dataStart-armv6m.FlashBase),
-		RAMBytes:  heapEnd - int(armv6m.SRAMBase) + stackReserve,
+		RAMBytes:  heapEnd - int(armv6m.SRAMBase) + StackReserve,
 		Asm:       asm,
+		Check:     report,
 	}
 	// Output buffer of the final layer: ping-pong parity.
 	out := bufB

@@ -15,21 +15,77 @@
 //
 // Supported directives: .word .hword .byte .space .align .pool (and the
 // ignored housekeeping directives .text .thumb .syntax .global .globl
-// .cpu .type .size). Comments start with '@' or '//'. '#' before
+// .cpu .type .size). Comments start with '@', ';', or '//'. '#' before
 // immediates is optional.
+//
+// Comments of the form "@ asmcheck: loop N" annotate the instruction on
+// the same line (or, on a comment-only line, the next instruction) with
+// a loop iteration bound consumed by the internal/asmcheck static
+// analyzer; see docs/ASMCHECK.md.
 package thumb
 
 import (
 	"fmt"
+	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 )
 
-// Program is the output of Assemble: machine code plus the symbol table.
+// InstrMeta maps one assembled instruction back to its source: address,
+// encoded size, 1-based source line, mnemonic, and any "asmcheck: loop"
+// bound annotated on it. This is what lets downstream diagnostics
+// (asmcheck violations, deploy failures) point at kernel source lines.
+type InstrMeta struct {
+	Addr      uint32
+	Size      int
+	Line      int
+	Mn        string
+	LoopBound int // 0 when unannotated
+}
+
+// Program is the output of Assemble: machine code plus the symbol table
+// and per-instruction source metadata.
 type Program struct {
 	Base    uint32            // load address of Code[0]
 	Code    []byte            // assembled bytes
 	Symbols map[string]uint32 // label -> absolute address
+	Instrs  []InstrMeta       // instructions in address order
+}
+
+// instrIndex finds the Instrs entry at exactly addr, or -1.
+func (p *Program) instrIndex(addr uint32) int {
+	i := sort.Search(len(p.Instrs), func(i int) bool { return p.Instrs[i].Addr >= addr })
+	if i < len(p.Instrs) && p.Instrs[i].Addr == addr {
+		return i
+	}
+	return -1
+}
+
+// InstrAt returns the metadata of the instruction assembled at addr.
+func (p *Program) InstrAt(addr uint32) (InstrMeta, bool) {
+	if i := p.instrIndex(addr); i >= 0 {
+		return p.Instrs[i], true
+	}
+	return InstrMeta{}, false
+}
+
+// LineFor returns the 1-based source line of the instruction at addr, or
+// 0 when addr does not hold an assembled instruction.
+func (p *Program) LineFor(addr uint32) int {
+	if i := p.instrIndex(addr); i >= 0 {
+		return p.Instrs[i].Line
+	}
+	return 0
+}
+
+// LoopBoundAt returns the "asmcheck: loop N" bound annotated on the
+// instruction at addr.
+func (p *Program) LoopBoundAt(addr uint32) (int, bool) {
+	if i := p.instrIndex(addr); i >= 0 && p.Instrs[i].LoopBound > 0 {
+		return p.Instrs[i].LoopBound, true
+	}
+	return 0, false
 }
 
 // Symbol returns the address of label, or an error naming it.
@@ -70,17 +126,19 @@ type item struct {
 	data  []byte   // raw data for .byte/.hword/.space
 	exprs []string // expressions for .word (resolved pass 2)
 	width int      // element width for exprs (4 for .word, 2 for .hword, 1 for .byte)
-	lit   *literal // for "ldr rd, =expr"
-	pool  []*literal
-	align int // alignment request (bytes) for align items and pools
+	lit       *literal // for "ldr rd, =expr"
+	pool      []*literal
+	align     int // alignment request (bytes) for align items and pools
+	loopBound int // "asmcheck: loop N" annotation (0 = none)
 }
 
 type assembler struct {
-	base    uint32
-	items   []*item
-	symbols map[string]uint32
-	labels  map[string]int // label -> line defined (duplicate detection)
-	pending []*literal
+	base        uint32
+	items       []*item
+	symbols     map[string]uint32
+	labels      map[string]int // label -> line defined (duplicate detection)
+	pending     []*literal
+	pendingLoop int // loop annotation from a comment-only line, for the next instruction
 }
 
 // Assemble translates src into machine code loaded at base.
@@ -106,10 +164,19 @@ func Assemble(src string, base uint32) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Program{Base: base, Code: code, Symbols: a.symbols}, nil
+	p := &Program{Base: base, Code: code, Symbols: a.symbols}
+	for _, it := range a.items {
+		if it.mn == "" || strings.HasPrefix(it.mn, "label:") {
+			continue
+		}
+		p.Instrs = append(p.Instrs, InstrMeta{
+			Addr: it.addr, Size: it.size, Line: it.line, Mn: it.mn, LoopBound: it.loopBound,
+		})
+	}
+	return p, nil
 }
 
-// stripComment removes '@' and '//' comments outside of brackets.
+// stripComment removes '@', ';', and '//' comments outside of brackets.
 func stripComment(line string) string {
 	if i := strings.Index(line, "//"); i >= 0 {
 		line = line[:i]
@@ -117,8 +184,14 @@ func stripComment(line string) string {
 	if i := strings.IndexByte(line, '@'); i >= 0 {
 		line = line[:i]
 	}
+	if i := strings.IndexByte(line, ';'); i >= 0 {
+		line = line[:i]
+	}
 	return strings.TrimSpace(line)
 }
+
+// loopAnnRe matches the "asmcheck: loop N" annotation inside a comment.
+var loopAnnRe = regexp.MustCompile(`asmcheck:\s*loop\s+(\d+)`)
 
 // splitOperands splits an operand string on commas that are not inside
 // [] or {} groups.
@@ -150,6 +223,15 @@ func (a *assembler) parse(src string) error {
 	for lineNo, raw := range strings.Split(src, "\n") {
 		line := stripComment(raw)
 		ln := lineNo + 1
+		if m := loopAnnRe.FindStringSubmatch(raw); m != nil {
+			n, err := strconv.Atoi(m[1])
+			if err != nil || n <= 0 {
+				return errf(ln, "bad asmcheck loop bound %q", m[1])
+			}
+			// Attach to the instruction on this line, or carry to the
+			// next one when the annotation sits on its own line.
+			a.pendingLoop = n
+		}
 		for line != "" {
 			// Labels (possibly several) at the start of the line.
 			if i := strings.IndexByte(line, ':'); i >= 0 && isLabel(line[:i]) {
@@ -180,7 +262,8 @@ func (a *assembler) parse(src string) error {
 			continue
 		}
 		args := splitOperands(rest)
-		it := &item{line: ln, mn: mn, args: args, size: 2}
+		it := &item{line: ln, mn: mn, args: args, size: 2, loopBound: a.pendingLoop}
+		a.pendingLoop = 0
 		switch mn {
 		case "bl":
 			it.size = 4

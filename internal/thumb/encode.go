@@ -299,6 +299,9 @@ func (a *assembler) encodeInstr(it *item) (uint32, error) {
 			if lowReg(rn) && lowReg(rm) {
 				return 0b010000<<10 | 0b1010<<6 | uint32(rm)<<3 | uint32(rn), nil
 			}
+			if rn < 0 {
+				return 0, errf(ln, "cmp: bad register %q", args[0])
+			}
 			return 0b010001_01<<8 | (uint32(rn)>>3)<<7 | uint32(rm)<<3 | uint32(rn)&7, nil
 		}
 		imm, err := a.parseImm(args[1], ln)
@@ -354,6 +357,9 @@ func (a *assembler) encodeInstr(it *item) (uint32, error) {
 		return 0b10100<<11 | uint32(rd)<<8 | uint32(off>>2), nil
 
 	case "push":
+		if len(args) != 1 {
+			return 0, errf(ln, "push needs a register list")
+		}
 		list, err := parseRegList(args[0], ln)
 		if err != nil {
 			return 0, err
@@ -368,6 +374,9 @@ func (a *assembler) encodeInstr(it *item) (uint32, error) {
 		return enc, nil
 
 	case "pop":
+		if len(args) != 1 {
+			return 0, errf(ln, "pop needs a register list")
+		}
 		list, err := parseRegList(args[0], ln)
 		if err != nil {
 			return 0, err
@@ -521,6 +530,9 @@ func (a *assembler) encodeAddSubWide(it *item) (uint32, error) {
 			if mn == "sub" {
 				return 0, errf(ln, "sub register form must use subs")
 			}
+			if rd < 0 {
+				return 0, errf(ln, "add: bad register %q", args[0])
+			}
 			return 0b010001_00<<8 | (uint32(rd)>>3)<<7 | uint32(rm)<<3 | uint32(rd)&7, nil
 		}
 		imm, err := a.parseImm(args[1], ln)
@@ -591,6 +603,9 @@ func (a *assembler) encodeShift(it *item) (uint32, error) {
 	case 3:
 		rd, rm := parseReg(args[0]), parseReg(args[1])
 		if rs := parseReg(args[2]); rs >= 0 {
+			if !lowReg(rd) || !lowReg(rm) || !lowReg(rs) {
+				return 0, errf(ln, "%s register form needs low registers", mn)
+			}
 			if rd != rm {
 				return 0, errf(ln, "%s rd, rm, rs requires rd == rm", mn)
 			}

@@ -9,8 +9,15 @@ cd "$(dirname "$0")/.."
 echo "== go build"
 go build ./...
 
+echo "== static (go vet + race detector + fuzz corpus)"
+go vet ./...
+go test -race ./...
+
 echo "== go test"
 go test ./...
+
+echo "== asmcheck (static verification of all generated kernels)"
+go run ./cmd/asmcheck -kernels
 
 echo "== bench-smoke (quick device-measured experiments + metrics JSON)"
 # table1/fig2/fig3/fig5 are the training-free experiments: they deploy
