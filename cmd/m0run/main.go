@@ -12,6 +12,13 @@
 //	m0run -model model.ncq1 -folded out.folded  # flamegraph input
 //	m0run -model model.ncq1 -profile-json p.json
 //	m0run -img kernel.bin -trace 50             # first 50 instructions
+//
+// Batch mode distributes a file of concatenated input records across a
+// farm of emulated boards (one per worker, shared immutable flash) and
+// reports per-input predictions plus aggregate cycle statistics; the
+// results are bit-identical for every -j:
+//
+//	m0run -model model.ncq1 -batch inputs.raw -j 8
 package main
 
 import (
@@ -21,9 +28,11 @@ import (
 	"io"
 	"os"
 	"strconv"
+	"time"
 
 	"github.com/neuro-c/neuroc/internal/armv6m"
 	"github.com/neuro-c/neuroc/internal/device"
+	"github.com/neuro-c/neuroc/internal/farm"
 	"github.com/neuro-c/neuroc/internal/modelimg"
 	"github.com/neuro-c/neuroc/internal/profile"
 	"github.com/neuro-c/neuroc/internal/quant"
@@ -44,6 +53,8 @@ func main() {
 	traceN := flag.Uint64("trace", 0, "print the first N executed instructions to stderr")
 	folded := flag.String("folded", "", "write a flamegraph-compatible folded-stack profile to this file")
 	profJSON := flag.String("profile-json", "", "write the full profile as JSON to this file")
+	batch := flag.String("batch", "", "raw file of concatenated input records (model input dim each): run all of them on the board farm (requires -model)")
+	workers := flag.Int("j", 0, "board-farm workers for -batch (0 = all host cores); results are bit-identical for any value")
 	flag.Parse()
 
 	if *img == "" && *model == "" {
@@ -51,6 +62,7 @@ func main() {
 	}
 	var code []byte
 	var symbols map[string]uint32
+	var image *modelimg.Image
 	if *model != "" {
 		f, err := os.Open(*model)
 		if err != nil {
@@ -65,7 +77,7 @@ func main() {
 			"block": modelimg.UseBlock, "csc": modelimg.UseCSC,
 			"delta": modelimg.UseDelta, "mixed": modelimg.UseMixed,
 		}[*encName]
-		image, err := modelimg.Build(qm, enc)
+		image, err = modelimg.Build(qm, enc)
 		if err != nil {
 			fatal(err)
 		}
@@ -80,11 +92,18 @@ func main() {
 			fatal(err)
 		}
 	}
-	cpu := armv6m.New()
-	if len(code) > len(cpu.Bus.Flash) {
-		fatal(fmt.Errorf("image %d bytes exceeds %d bytes of flash", len(code), len(cpu.Bus.Flash)))
+	if *batch != "" {
+		if image == nil {
+			fatal(fmt.Errorf("-batch requires -model (the input record size is the model's input dimension)"))
+		}
+		runBatch(image, *batch, *workers, *maxInstr, *ws)
+		return
 	}
-	cpu.Bus.LoadFlash(0, code)
+
+	cpu := armv6m.New()
+	if err := cpu.Bus.LoadFlash(0, code); err != nil {
+		fatal(err)
+	}
 	cpu.Bus.FlashWaitStates = *ws
 
 	profiling := *prof || *traceN > 0 || *folded != "" || *profJSON != ""
@@ -207,6 +226,64 @@ func writeTo(path string, emit func(w io.Writer) error) {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "m0run: wrote %s\n", path)
+}
+
+// runBatch runs every record in path through the board farm and prints
+// per-input predictions, cycle counts, and aggregate statistics. A
+// budget-exhausted or faulting input exits non-zero after the whole
+// batch is reported (one bad input never hides the others).
+func runBatch(image *modelimg.Image, path string, workers int, maxInstr uint64, ws int) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	if len(data) == 0 || len(data)%image.InDim != 0 {
+		fatal(fmt.Errorf("batch file %s is %d bytes, not a positive multiple of the input dim %d",
+			path, len(data), image.InDim))
+	}
+	inputs := make([][]int8, len(data)/image.InDim)
+	for i := range inputs {
+		rec := data[i*image.InDim : (i+1)*image.InDim]
+		in := make([]int8, image.InDim)
+		for j, b := range rec {
+			in[j] = int8(b)
+		}
+		inputs[i] = in
+	}
+	results, stats, batchErr := farm.Map(image, inputs, farm.Options{
+		Workers: workers,
+		Budget:  maxInstr,
+		Configure: func(d *device.Device) {
+			d.CPU.Bus.FlashWaitStates = ws
+		},
+	})
+	budgetExhausted := false
+	for i, res := range results {
+		if res.Err != nil {
+			var budget *armv6m.BudgetError
+			if errors.As(res.Err, &budget) {
+				budgetExhausted = true
+			}
+			fmt.Printf("input %4d: FAILED: %v\n", i, res.Err)
+			continue
+		}
+		fmt.Printf("input %4d: class %d, %d cycles (%.3f ms), outputs %v\n",
+			i, res.Argmax(), res.Cycles, device.CyclesToMS(res.Cycles), res.Output)
+	}
+	fmt.Printf("batch: %d inputs, %d failed, %d workers, wall %v (%.0f inf/s)\n",
+		stats.Items, stats.Failed, stats.Workers, stats.Wall.Round(time.Millisecond), stats.Throughput())
+	if stats.Items > stats.Failed {
+		fmt.Printf("cycles: mean %d, min %d, max %d (mean %.3f ms @ 8 MHz)\n",
+			stats.MeanCycles, stats.MinCycles, stats.MaxCycles, stats.LatencyMS())
+	}
+	if batchErr != nil {
+		if budgetExhausted {
+			fmt.Fprintf(os.Stderr, "m0run: instruction budget exhausted on at least one input; "+
+				"the kernel is looping or -max-instr is too small. No truncated counts were reported.\n")
+			os.Exit(3)
+		}
+		fatal(batchErr)
+	}
 }
 
 func parseAddr(s string) (uint32, error) {

@@ -67,6 +67,9 @@ var experiments = []struct {
 	{"cores", "same image on Cortex-M0 vs Cortex-M0+ profiles", func(r *bench.Runner, w io.Writer) {
 		r.Cores().Fprint(w)
 	}},
+	{"farm", "board-farm parallel on-emulator test-set accuracy + speedup", func(r *bench.Runner, w io.Writer) {
+		r.FarmBench().Fprint(w)
+	}},
 }
 
 func main() {
@@ -76,6 +79,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	list := flag.Bool("list", false, "list experiments and exit")
 	metrics := flag.String("metrics", "", "write structured per-experiment metrics JSON to this file")
+	workers := flag.Int("j", 0, "board-farm workers for device measurements (0 = all host cores); results are bit-identical for any value")
 	flag.Parse()
 
 	if *list {
@@ -85,7 +89,7 @@ func main() {
 		return
 	}
 
-	cfg := bench.Config{Quick: *quick, Seed: *seed}
+	cfg := bench.Config{Quick: *quick, Seed: *seed, Workers: *workers}
 	if *verbose {
 		cfg.Log = os.Stderr
 	}

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"github.com/neuro-c/neuroc/internal/device"
+	"github.com/neuro-c/neuroc/internal/farm"
 	"github.com/neuro-c/neuroc/internal/modelimg"
 	"github.com/neuro-c/neuroc/internal/quant"
 	"github.com/neuro-c/neuroc/internal/tensor"
@@ -16,6 +17,12 @@ type Deployment struct {
 	QModel *quant.Model
 	Img    *modelimg.Image
 	Dev    *device.Device
+
+	// Workers is the board-farm pool size used by batch evaluations
+	// (MeasureStats, DeviceAccuracy); <= 0 uses GOMAXPROCS. Any value
+	// produces bit-identical outputs and per-input cycle counts — the
+	// farm only changes host wall-clock time.
+	Workers int
 }
 
 // ErrNotDeployable reports a model that exceeds the device's flash or
@@ -78,18 +85,23 @@ func (d *Deployment) MeasureLatency(ds *Dataset, runs int) (ms float64, cycles u
 }
 
 // MeasureStats is MeasureLatency also returning the mean retired-
-// instruction count, so callers can derive CPI alongside latency.
+// instruction count, so callers can derive CPI alongside latency. The
+// runs are evaluated in parallel on the board farm (see Workers); the
+// means are identical to the serial path.
 func (d *Deployment) MeasureStats(ds *Dataset, runs int) (ms float64, cycles, instructions uint64, err error) {
 	if runs <= 0 {
 		runs = 10
 	}
+	inputs := make([][]int8, runs)
+	for i := range inputs {
+		inputs[i] = d.QModel.QuantizeInput(ds.TestX.Row(i % ds.TestX.Rows))
+	}
+	results, _, err := farm.Map(d.Img, inputs, farm.Options{Workers: d.Workers})
+	if err != nil {
+		return 0, 0, 0, err
+	}
 	var totalCycles, totalInstrs uint64
-	for i := 0; i < runs; i++ {
-		row := ds.TestX.Row(i % ds.TestX.Rows)
-		res, err := d.Dev.Run(d.QModel.QuantizeInput(row))
-		if err != nil {
-			return 0, 0, 0, err
-		}
+	for _, res := range results {
 		totalCycles += res.Cycles
 		totalInstrs += res.Instructions
 	}
@@ -113,23 +125,60 @@ func (d *Deployment) Accuracy(ds *Dataset) float64 {
 }
 
 // DeviceAccuracy evaluates accuracy by running every one of n test
-// samples on the emulated device itself (slower; n <= 0 uses the whole
-// test split).
+// samples on emulated devices (n <= 0 uses the whole test split). The
+// samples are distributed across the board farm (see Workers), which
+// makes full-test-set on-emulator evaluation practical; the result is
+// bit-identical to running every sample serially on one board.
 func (d *Deployment) DeviceAccuracy(ds *Dataset, n int) (float64, error) {
+	acc, _, err := d.deviceAccuracyStats(ds, n)
+	return acc, err
+}
+
+// deviceAccuracyStats is DeviceAccuracy also returning the farm's
+// aggregate statistics (cycle spread, wall-clock, throughput).
+func (d *Deployment) deviceAccuracyStats(ds *Dataset, n int) (float64, *farm.Stats, error) {
 	if n <= 0 || n > ds.TestX.Rows {
 		n = ds.TestX.Rows
 	}
+	inputs := make([][]int8, n)
+	for i := range inputs {
+		inputs[i] = d.QModel.QuantizeInput(ds.TestX.Row(i))
+	}
+	return farm.Accuracy(d.Img, inputs, ds.TestY[:n], farm.Options{Workers: d.Workers})
+}
+
+// DeviceAccuracyChecked is DeviceAccuracy with a differential gate:
+// every device prediction is cross-checked against the host quantized
+// reference path (quant.Model.Predict) on the same input, and any
+// divergence is reported as an error rather than folded into the
+// accuracy number. This is the trusted form of the paper's on-device
+// accuracy measurement: the returned value is a true on-emulator
+// result, proven equal to the bit-exact Go reference.
+func (d *Deployment) DeviceAccuracyChecked(ds *Dataset, n int) (float64, *farm.Stats, error) {
+	if n <= 0 || n > ds.TestX.Rows {
+		n = ds.TestX.Rows
+	}
+	inputs := make([][]int8, n)
+	for i := range inputs {
+		inputs[i] = d.QModel.QuantizeInput(ds.TestX.Row(i))
+	}
+	results, stats, err := farm.Map(d.Img, inputs, farm.Options{Workers: d.Workers})
+	if err != nil {
+		return 0, stats, err
+	}
 	correct := 0
-	for i := 0; i < n; i++ {
-		pred, _, err := d.Dev.Predict(d.QModel.QuantizeInput(ds.TestX.Row(i)))
-		if err != nil {
-			return 0, err
+	for i := range results {
+		pred := results[i].Argmax()
+		if ref := d.QModel.Predict(inputs[i]); pred != ref {
+			return 0, stats, fmt.Errorf(
+				"neuroc: device/reference divergence on test sample %d: device predicts %d, host reference %d",
+				i, pred, ref)
 		}
 		if pred == ds.TestY[i] {
 			correct++
 		}
 	}
-	return float64(correct) / float64(n), nil
+	return float64(correct) / float64(n), stats, nil
 }
 
 // DeployWithoutScale deploys the already-quantized model with the

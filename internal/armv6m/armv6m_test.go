@@ -32,8 +32,12 @@ func boot(t *testing.T, src string) (*armv6m.CPU, *thumb.Program) {
 	}
 	put32(0, sp)
 	put32(4, entry)
-	cpu.Bus.LoadFlash(0, vec)
-	cpu.Bus.LoadFlash(int(prog.Base-armv6m.FlashBase), prog.Code)
+	if err := cpu.Bus.LoadFlash(0, vec); err != nil {
+		t.Fatalf("load vectors: %v", err)
+	}
+	if err := cpu.Bus.LoadFlash(int(prog.Base-armv6m.FlashBase), prog.Code); err != nil {
+		t.Fatalf("load code: %v", err)
+	}
 	if err := cpu.Reset(); err != nil {
 		t.Fatalf("reset: %v", err)
 	}

@@ -70,6 +70,10 @@ type Bus struct {
 
 	// Counters for memory-traffic reporting.
 	FlashReads, SRAMReads, SRAMWrites uint64
+
+	// sharedFlash marks a bus whose Flash slice aliases an array owned
+	// elsewhere (NewBusSharedFlash); LoadFlash refuses to write it.
+	sharedFlash bool
 }
 
 // NewBus returns a bus with the STM32F072RB memory map (128 KB flash,
@@ -80,6 +84,24 @@ func NewBus() *Bus {
 		SRAM:      make([]byte, SRAMSize),
 		FlashBase: FlashBase,
 		SRAMBase:  SRAMBase,
+	}
+}
+
+// NewBusSharedFlash returns a bus whose flash region aliases the given
+// slice instead of owning a private copy. The core can never write
+// flash (stores to it bus-fault), and the aliasing bus never writes it
+// either — LoadFlash on a shared bus is rejected — so a single
+// fully-populated flash array can back any number of boards
+// concurrently. This is the memory model of a board farm: one immutable
+// program image, many independent cores with private SRAM. The caller
+// must not mutate flash while any sharing core runs.
+func NewBusSharedFlash(flash []byte) *Bus {
+	return &Bus{
+		Flash:       flash,
+		SRAM:        make([]byte, SRAMSize),
+		FlashBase:   FlashBase,
+		SRAMBase:    SRAMBase,
+		sharedFlash: true,
 	}
 }
 
@@ -201,11 +223,18 @@ func (b *Bus) Write32(addr uint32, v uint32) error {
 	return nil
 }
 
-// LoadFlash copies img into flash at offset off (panics if out of range;
-// this is a host-side setup API, not an emulated access).
-func (b *Bus) LoadFlash(off int, img []byte) {
+// LoadFlash copies img into flash at offset off. This is a host-side
+// setup API, not an emulated access; an out-of-range image is a
+// reported failure (the caller may be loading an arbitrary user file),
+// not a crash. Buses sharing another board's flash are read-only and
+// reject loads.
+func (b *Bus) LoadFlash(off int, img []byte) error {
+	if b.sharedFlash {
+		return fmt.Errorf("armv6m: LoadFlash on a shared-flash bus (the image is owned by the farm)")
+	}
 	if off < 0 || off+len(img) > len(b.Flash) {
-		panic(fmt.Sprintf("armv6m: LoadFlash %d+%d exceeds flash size %d", off, len(img), len(b.Flash)))
+		return fmt.Errorf("armv6m: LoadFlash %d+%d exceeds flash size %d", off, len(img), len(b.Flash))
 	}
 	copy(b.Flash[off:], img)
+	return nil
 }

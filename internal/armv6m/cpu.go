@@ -88,6 +88,16 @@ func New() *CPU {
 	return &CPU{Bus: NewBus(), MulCycles: 1, Profile: ProfileM0}
 }
 
+// NewSharedFlash returns a CPU wired to a bus that aliases the given
+// immutable flash array (see NewBusSharedFlash). All boot state is
+// reconstructed from flash on Reset — the vector table provides SP and
+// PC — so any number of boards cloned from the same image boot to
+// bit-identical architectural state with only the private SRAM and
+// counters distinguishing them.
+func NewSharedFlash(flash []byte) *CPU {
+	return &CPU{Bus: NewBusSharedFlash(flash), MulCycles: 1, Profile: ProfileM0}
+}
+
 // Reset performs an architectural reset: SP is loaded from the vector
 // table at flash offset 0, PC from offset 4 (with the Thumb bit
 // cleared), LR is set to a recognizable dead value, and flags clear.

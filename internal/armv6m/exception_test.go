@@ -45,8 +45,12 @@ func bootWithISR(t *testing.T, src string, period int64) *armv6m.CPU {
 		t.Fatal(err)
 	}
 	put32(4*armv6m.SysTickVector, handler|1)
-	cpu.Bus.LoadFlash(0, vec)
-	cpu.Bus.LoadFlash(int(prog.Base-armv6m.FlashBase), prog.Code)
+	if err := cpu.Bus.LoadFlash(0, vec); err != nil {
+		t.Fatalf("load vectors: %v", err)
+	}
+	if err := cpu.Bus.LoadFlash(int(prog.Base-armv6m.FlashBase), prog.Code); err != nil {
+		t.Fatalf("load code: %v", err)
+	}
 	cpu.SysTick.Configure(period)
 	if err := cpu.Reset(); err != nil {
 		t.Fatal(err)

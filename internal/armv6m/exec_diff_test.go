@@ -1,0 +1,203 @@
+package armv6m_test
+
+import (
+	"testing"
+
+	"github.com/neuro-c/neuroc/internal/armv6m"
+)
+
+// Differential tests for the carry-chain data-processing instructions
+// (ADCS, SBCS, RSBS). The emulator's flag outputs are compared against
+// a table of hand-derived architecturally-correct values and against an
+// independent reimplementation of the ARM ARM AddWithCarry pseudocode,
+// at the operand boundaries where carry/borrow/overflow conventions
+// diverge between implementations (0x7FFFFFFF, 0x80000000, 0xFFFFFFFF).
+
+// refAddWithCarry is an independent AddWithCarry written directly from
+// the ARM ARM pseudocode (bit-width extension, not Go's carry idioms),
+// so a bug in the emulator's formulation cannot cancel out here.
+func refAddWithCarry(x, y uint32, carryIn bool) (result uint32, n, z, c, v bool) {
+	var cin uint64
+	if carryIn {
+		cin = 1
+	}
+	unsignedSum := uint64(x) + uint64(y) + cin
+	signedSum := int64(int32(x)) + int64(int32(y)) + int64(cin)
+	result = uint32(unsignedSum & 0xFFFFFFFF)
+	n = result&0x80000000 != 0
+	z = result == 0
+	c = uint64(result) != unsignedSum
+	v = int64(int32(result)) != signedSum
+	return
+}
+
+// execDP builds a one-instruction program around the raw opcode, seeds
+// r1/r2 and the carry flag after reset, executes exactly that
+// instruction, and returns the core.
+func execDP(t *testing.T, op uint16, r1, r2 uint32, carryIn bool) *armv6m.CPU {
+	t.Helper()
+	cpu := armv6m.New()
+	entry := uint32(armv6m.FlashBase + 8)
+	img := []byte{
+		// Vector table: SP, entry|1.
+		0x00, 0x40, 0x00, 0x20, // SP = 0x20004000
+		byte(entry | 1), byte((entry | 1) >> 8), byte((entry | 1) >> 16), byte((entry | 1) >> 24),
+		byte(op), byte(op >> 8), // instruction under test
+		0x00, 0xbe, // bkpt #0
+	}
+	if err := cpu.Bus.LoadFlash(0, img); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if err := cpu.Reset(); err != nil {
+		t.Fatalf("reset: %v", err)
+	}
+	cpu.R[1] = r1
+	cpu.R[2] = r2
+	cpu.C = carryIn
+	if err := cpu.Step(); err != nil {
+		t.Fatalf("step op %04x: %v", op, err)
+	}
+	return cpu
+}
+
+const (
+	opADCS = 0x4151 // adcs r1, r2
+	opSBCS = 0x4191 // sbcs r1, r2
+	opRSBS = 0x4251 // rsbs r1, r2, #0 (negs)
+)
+
+func checkFlags(t *testing.T, name string, cpu *armv6m.CPU, res uint32, n, z, c, v bool) {
+	t.Helper()
+	if cpu.R[1] != res {
+		t.Errorf("%s: result %#08x, want %#08x", name, cpu.R[1], res)
+	}
+	if cpu.N != n || cpu.Z != z || cpu.C != c || cpu.V != v {
+		t.Errorf("%s: flags NZCV=%v%v%v%v, want %v%v%v%v",
+			name, b2i(cpu.N), b2i(cpu.Z), b2i(cpu.C), b2i(cpu.V), b2i(n), b2i(z), b2i(c), b2i(v))
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TestADCSArchitecturalTable pins ADCS against hand-derived expected
+// values at the signed/unsigned boundaries.
+func TestADCSArchitecturalTable(t *testing.T) {
+	cases := []struct {
+		a, b uint32
+		cin  bool
+		res  uint32
+		n, z bool
+		c, v bool
+	}{
+		// INT_MAX + 0 + carry flips the sign: overflow, no carry-out.
+		{0x7FFFFFFF, 0, true, 0x80000000, true, false, false, true},
+		{0x7FFFFFFF, 1, false, 0x80000000, true, false, false, true},
+		// INT_MAX + INT_MAX + 1 stays negative: overflow, no carry-out.
+		{0x7FFFFFFF, 0x7FFFFFFF, true, 0xFFFFFFFF, true, false, false, true},
+		// INT_MIN + INT_MIN wraps to zero: carry and overflow together.
+		{0x80000000, 0x80000000, false, 0, false, true, true, true},
+		{0x80000000, 0x80000000, true, 1, false, false, true, true},
+		// Unsigned wrap without signed overflow.
+		{0xFFFFFFFF, 1, false, 0, false, true, true, false},
+		{0xFFFFFFFF, 0, true, 0, false, true, true, false},
+		{0xFFFFFFFF, 0xFFFFFFFF, true, 0xFFFFFFFF, true, false, true, false},
+		// No wrap at all.
+		{1, 2, false, 3, false, false, false, false},
+		{1, 2, true, 4, false, false, false, false},
+	}
+	for _, tc := range cases {
+		cpu := execDP(t, opADCS, tc.a, tc.b, tc.cin)
+		name := "adcs"
+		checkFlags(t, name, cpu, tc.res, tc.n, tc.z, tc.c, tc.v)
+	}
+}
+
+// TestSBCSArchitecturalTable pins SBCS (subtract with borrow; C=1 means
+// no borrow, the ARM convention) against hand-derived values.
+func TestSBCSArchitecturalTable(t *testing.T) {
+	cases := []struct {
+		a, b uint32
+		cin  bool
+		res  uint32
+		n, z bool
+		c, v bool
+	}{
+		// 0 - 0 with no incoming borrow: zero, C=1 (no borrow out).
+		{0, 0, true, 0, false, true, true, false},
+		// 0 - 0 with incoming borrow: -1, C=0 (borrowed).
+		{0, 0, false, 0xFFFFFFFF, true, false, false, false},
+		// INT_MIN - 1: signed overflow, no borrow.
+		{0x80000000, 1, true, 0x7FFFFFFF, false, false, true, true},
+		// INT_MAX - (-1): signed overflow (result would be 2^31).
+		{0x7FFFFFFF, 0xFFFFFFFF, true, 0x80000000, true, false, false, true},
+		// -1 - INT_MIN = INT_MAX: fits exactly, no overflow, no borrow.
+		{0xFFFFFFFF, 0x80000000, false, 0x7FFFFFFE, false, false, true, false},
+		{0xFFFFFFFF, 0x80000000, true, 0x7FFFFFFF, false, false, true, false},
+		// Equal operands with no borrow: zero, C=1.
+		{0x80000000, 0x80000000, true, 0, false, true, true, false},
+		{0xFFFFFFFF, 0xFFFFFFFF, true, 0, false, true, true, false},
+		// Small minus large: wraps, borrow out.
+		{1, 2, true, 0xFFFFFFFF, true, false, false, false},
+	}
+	for _, tc := range cases {
+		cpu := execDP(t, opSBCS, tc.a, tc.b, tc.cin)
+		checkFlags(t, "sbcs", cpu, tc.res, tc.n, tc.z, tc.c, tc.v)
+	}
+}
+
+// TestRSBSArchitecturalTable pins RSBS (negate: 0 - Rm, carry-in fixed
+// to 1 by the architecture) against hand-derived values.
+func TestRSBSArchitecturalTable(t *testing.T) {
+	cases := []struct {
+		b    uint32
+		res  uint32
+		n, z bool
+		c, v bool
+	}{
+		// Negating zero: zero, C=1 (no borrow), no overflow.
+		{0, 0, false, true, true, false},
+		// Negating INT_MIN overflows (two's complement has no +2^31).
+		{0x80000000, 0x80000000, true, false, false, true},
+		{1, 0xFFFFFFFF, true, false, false, false},
+		{0xFFFFFFFF, 1, false, false, false, false},
+		{0x7FFFFFFF, 0x80000001, true, false, false, false},
+	}
+	for _, tc := range cases {
+		// Carry-in must be ignored by RSBS: run with both values.
+		for _, cin := range []bool{false, true} {
+			cpu := execDP(t, opRSBS, 0xDEADBEEF, tc.b, cin)
+			checkFlags(t, "rsbs", cpu, tc.res, tc.n, tc.z, tc.c, tc.v)
+		}
+	}
+}
+
+// TestCarryChainDifferentialSweep cross-checks ADCS/SBCS/RSBS against
+// the independent AddWithCarry reference over the full cross-product of
+// boundary operands and both carry-in values.
+func TestCarryChainDifferentialSweep(t *testing.T) {
+	boundaries := []uint32{
+		0, 1, 2,
+		0x7FFFFFFE, 0x7FFFFFFF, 0x80000000, 0x80000001,
+		0xFFFFFFFE, 0xFFFFFFFF,
+	}
+	for _, a := range boundaries {
+		for _, b := range boundaries {
+			for _, cin := range []bool{false, true} {
+				// ADCS: AddWithCarry(a, b, C).
+				res, n, z, c, v := refAddWithCarry(a, b, cin)
+				checkFlags(t, "adcs sweep", execDP(t, opADCS, a, b, cin), res, n, z, c, v)
+				// SBCS: AddWithCarry(a, NOT(b), C).
+				res, n, z, c, v = refAddWithCarry(a, ^b, cin)
+				checkFlags(t, "sbcs sweep", execDP(t, opSBCS, a, b, cin), res, n, z, c, v)
+				// RSBS: AddWithCarry(NOT(b), 0, '1'), carry-in ignored.
+				res, n, z, c, v = refAddWithCarry(^b, 0, true)
+				checkFlags(t, "rsbs sweep", execDP(t, opRSBS, a, b, cin), res, n, z, c, v)
+			}
+		}
+	}
+}

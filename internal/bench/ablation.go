@@ -1,10 +1,12 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/neuro-c/neuroc/internal/armv6m"
 	"github.com/neuro-c/neuroc/internal/device"
+	"github.com/neuro-c/neuroc/internal/farm"
 	"github.com/neuro-c/neuroc/internal/modelimg"
 	"github.com/neuro-c/neuroc/internal/quant"
 	"github.com/neuro-c/neuroc/internal/report"
@@ -58,7 +60,9 @@ loop:
 			panic(err)
 		}
 		cpu := armv6m.New()
-		cpu.Bus.LoadFlash(0, prog.Code)
+		if err := cpu.Bus.LoadFlash(0, prog.Code); err != nil {
+			panic(err)
+		}
 		// Alternating positive/negative accumulators: worst case for a
 		// data-dependent branch.
 		for i := 0; i < n; i++ {
@@ -73,7 +77,14 @@ loop:
 		if err := cpu.Reset(); err != nil {
 			panic(err)
 		}
-		if err := cpu.Run(1_000_000); err != nil {
+		// Shared harness budget (not a private cap): on exhaustion Run
+		// returns a *BudgetError and we fail loudly — a truncated cycle
+		// count must never be reported as a measurement.
+		if err := cpu.Run(device.MaxInstructions); err != nil {
+			var be *armv6m.BudgetError
+			if errors.As(err, &be) {
+				panic(fmt.Sprintf("bench: ReLU ablation kernel never halted: %v", be))
+			}
 			panic(err)
 		}
 		return cpu.Cycles
@@ -112,30 +123,11 @@ func ablationModels() (ternary, dense *quant.Model) {
 		&quant.Model{Layers: []*quant.Layer{d}, InputScale: 127}
 }
 
-// measureWith deploys m and measures latency after applying mod to the
-// booted device.
+// measureWith deploys m and measures latency after applying mod to
+// each booted board (evaluated through the farm harness, like every
+// other device measurement in this package).
 func measureWith(m *quant.Model, mod func(*device.Device)) float64 {
-	img, err := modelimg.Build(m, modelimg.UseBlock)
-	if err != nil {
-		panic(err)
-	}
-	dev, err := device.New(img)
-	if err != nil {
-		panic(err)
-	}
-	if mod != nil {
-		mod(dev)
-	}
-	rr := rng.New(7)
-	in := make([]int8, m.Layers[0].In)
-	for i := range in {
-		in[i] = int8(rr.Intn(255) - 127)
-	}
-	res, err := dev.Run(in)
-	if err != nil {
-		panic(err)
-	}
-	return res.LatencyMS()
+	return measureWithResult(m, mod, nil)
 }
 
 // ablationMultiplier compares the impact of the M0's slow iterative
@@ -276,24 +268,17 @@ func measureWithResult(m *quant.Model, mod func(*device.Device), cycles *uint64)
 	if err != nil {
 		panic(err)
 	}
-	dev, err := device.New(img)
-	if err != nil {
-		panic(err)
-	}
-	if mod != nil {
-		mod(dev)
-	}
 	rr := rng.New(7)
 	in := make([]int8, m.Layers[0].In)
 	for i := range in {
 		in[i] = int8(rr.Intn(255) - 127)
 	}
-	res, err := dev.Run(in)
+	results, _, err := farm.Map(img, [][]int8{in}, farm.Options{Workers: 1, Configure: mod})
 	if err != nil {
 		panic(err)
 	}
 	if cycles != nil {
-		*cycles = res.Cycles
+		*cycles = results[0].Cycles
 	}
-	return res.LatencyMS()
+	return device.CyclesToMS(results[0].Cycles)
 }

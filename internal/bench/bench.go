@@ -12,6 +12,7 @@ import (
 	"github.com/neuro-c/neuroc/internal/dataset"
 	"github.com/neuro-c/neuroc/internal/device"
 	"github.com/neuro-c/neuroc/internal/encoding"
+	"github.com/neuro-c/neuroc/internal/farm"
 	"github.com/neuro-c/neuroc/internal/modelimg"
 	"github.com/neuro-c/neuroc/internal/quant"
 	"github.com/neuro-c/neuroc/internal/rng"
@@ -24,6 +25,12 @@ type Config struct {
 	Quick bool
 	Log   io.Writer // optional progress log
 	Seed  uint64
+
+	// Workers is the board-farm pool size for device measurements
+	// (`neuroc-bench -j`); <= 0 lets the farm pick GOMAXPROCS. Results
+	// are bit-identical for every value — parallelism only changes
+	// wall-clock time.
+	Workers int
 }
 
 // Runner executes experiments, caching generated datasets and trained
@@ -138,13 +145,12 @@ type measurement struct {
 }
 
 // measureModel deploys m with enc and returns mean latency, cycle and
-// instruction counts, and the flash/SRAM footprints.
-func measureModel(m *quant.Model, enc modelimg.EncodingChoice, runs int) (*measurement, error) {
+// instruction counts, and the flash/SRAM footprints. The runs
+// repetitions are evaluated through the board farm with the given pool
+// size (the mean is unchanged by worker count: emulation is
+// deterministic).
+func measureModel(m *quant.Model, enc modelimg.EncodingChoice, runs, workers int) (*measurement, error) {
 	img, err := modelimg.Build(m, enc)
-	if err != nil {
-		return nil, err
-	}
-	dev, err := device.New(img)
 	if err != nil {
 		return nil, err
 	}
@@ -153,12 +159,16 @@ func measureModel(m *quant.Model, enc modelimg.EncodingChoice, runs int) (*measu
 	for i := range in {
 		in[i] = int8(r.Intn(255) - 127)
 	}
+	inputs := make([][]int8, runs)
+	for i := range inputs {
+		inputs[i] = in
+	}
+	results, _, err := farm.Map(img, inputs, farm.Options{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
 	var cycles, instrs uint64
-	for i := 0; i < runs; i++ {
-		res, err := dev.Run(in)
-		if err != nil {
-			return nil, err
-		}
+	for _, res := range results {
 		cycles += res.Cycles
 		instrs += res.Instructions
 	}
@@ -176,7 +186,7 @@ func measureModel(m *quant.Model, enc modelimg.EncodingChoice, runs int) (*measu
 // measureMicro runs measureModel and records the result as a
 // microbenchmark metric under name.
 func (r *Runner) measureMicro(name string, m *quant.Model, enc modelimg.EncodingChoice, runs int) (*measurement, error) {
-	meas, err := measureModel(m, enc, runs)
+	meas, err := measureModel(m, enc, runs, r.cfg.Workers)
 	if err != nil {
 		r.record(Metric{Name: name, Kind: "micro", Encoding: enc.String(), Error: err.Error()})
 		return nil, err

@@ -193,3 +193,62 @@ func TestCoresTable(t *testing.T) {
 		t.Errorf("M0+ slower than M0: %v", tb.Rows)
 	}
 }
+
+func TestFarmBenchQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	r := quickRunner()
+	tb := r.FarmBench()
+	if len(tb.Rows) < 2 {
+		t.Fatalf("farm rows = %d, want >= 2 pool sizes", len(tb.Rows))
+	}
+	// On-device accuracy must equal the host reference on every row and
+	// be identical across pool sizes (bit-determinism).
+	for _, row := range tb.Rows {
+		if row[1] != row[2] {
+			t.Errorf("pool %s: device acc %s != host ref %s", row[0], row[1], row[2])
+		}
+		if row[1] != tb.Rows[0][1] {
+			t.Errorf("pool %s: accuracy differs from -j 1", row[0])
+		}
+	}
+	// Metrics must carry the farm records with wall-clock and speedup.
+	mf := r.Metrics()
+	found := 0
+	for _, m := range mf.Experiments {
+		if m.Kind != "farm" {
+			continue
+		}
+		found++
+		if m.Workers <= 0 || m.WallMS <= 0 || m.Speedup <= 0 || m.DeviceAccuracyN == 0 {
+			t.Errorf("farm metric %s incomplete: %+v", m.Name, m)
+		}
+		if m.AccuracyDevice != m.Accuracy {
+			t.Errorf("farm metric %s: device accuracy %v != accuracy %v", m.Name, m.AccuracyDevice, m.Accuracy)
+		}
+	}
+	if found < 2 {
+		t.Errorf("farm metrics recorded = %d, want >= 2", found)
+	}
+}
+
+func TestDeviceAccuracyColumnCrossChecked(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	// Any trained deployable candidate must report an on-device accuracy
+	// (farm-evaluated, cross-checked against the host reference inside
+	// runCandidate — a divergence panics there).
+	r := quickRunner()
+	tb := r.Fig1()
+	withDevice := 0
+	for _, row := range tb.Rows {
+		if row[4] != "-" {
+			withDevice++
+		}
+	}
+	if withDevice == 0 {
+		t.Error("Fig 1 has no on-device accuracy entries")
+	}
+}

@@ -14,7 +14,7 @@ import (
 func (r *Runner) Fig1() *report.Table {
 	ds := r.Dataset("digits")
 	t := report.New("Fig 1: accuracy vs parameters by adjacency strategy (digits)",
-		"strategy", "config", "params", "accuracy")
+		"strategy", "config", "params", "accuracy", "on-device acc")
 	type variant struct {
 		strategy neuroc.Strategy
 		label    string
@@ -44,6 +44,7 @@ func (r *Runner) Fig1() *report.Table {
 		config   string
 		params   int
 		acc      float64
+		devAcc   string
 	}
 	var points []point
 	for _, v := range variants {
@@ -57,19 +58,24 @@ func (r *Runner) Fig1() *report.Table {
 			},
 			epochs: 60,
 		}
-		m := neuroc.NewModel(c.spec)
-		rep := m.Train(ds, neuroc.TrainOptions{Epochs: r.epochs(c.epochs)})
+		// Through the shared candidate path: trains, deploys, and
+		// measures true on-emulator accuracy via the board farm.
+		o := r.runCandidate(ds, c)
+		devAcc := "-"
+		if o.dep != nil {
+			devAcc = report.Pct(o.deviceAcc)
+		}
 		points = append(points, point{
 			strategy: v.strategy.String(),
 			config:   fmt.Sprintf("%s h=%d", v.label, v.hidden),
-			params:   m.EffectiveParams(),
-			acc:      rep.TestAccuracy,
+			params:   o.params,
+			acc:      o.floatAcc,
+			devAcc:   devAcc,
 		})
-		r.logf("%s: params %d acc %.4f", c.name, m.EffectiveParams(), rep.TestAccuracy)
 	}
 	sort.Slice(points, func(i, j int) bool { return points[i].params < points[j].params })
 	for _, p := range points {
-		t.Add(p.strategy, p.config, p.params, report.Pct(p.acc))
+		t.Add(p.strategy, p.config, p.params, report.Pct(p.acc), p.devAcc)
 	}
 	t.Note = "paper: quantization-learned connectivity dominates at equal parameter count"
 	return t
@@ -87,15 +93,17 @@ func (r *Runner) Fig6() []*report.Table {
 	}
 
 	a := report.New("Fig 6a: MLP accuracy vs size (deployability line at 128 KB flash)",
-		"config", "params", "flash", "accuracy", "deployable")
+		"config", "params", "flash", "accuracy", "on-device acc", "deployable")
 	for _, o := range mlps {
 		flash := "-"
 		dep := "no"
+		devAcc := "-"
 		if o.dep != nil {
 			flash = report.KB(o.bytes)
 			dep = "yes"
+			devAcc = report.Pct(o.deviceAcc)
 		}
-		a.Add(o.name, o.params, flash, report.Pct(o.floatAcc), dep)
+		a.Add(o.name, o.params, flash, report.Pct(o.floatAcc), devAcc, dep)
 	}
 
 	b := report.New("Fig 6b: MLP inference latency vs size (deployable only)",

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"github.com/neuro-c/neuroc/internal/dataset"
+	"github.com/neuro-c/neuroc/internal/report"
+)
+
+// farmPools returns the worker counts the farm experiment sweeps: the
+// serial baseline, the paper's reference pool of 4, and the configured
+// pool when it is larger.
+func (r *Runner) farmPools() []int {
+	pools := []int{1, 4}
+	if r.cfg.Workers > 4 {
+		pools = append(pools, r.cfg.Workers)
+	}
+	return pools
+}
+
+// FarmBench evaluates true on-emulator test-set accuracy for the small
+// digits model over the full (unsubsampled) digits test split, through
+// board-farm pools of increasing size. Every prediction is
+// cross-checked against the host quantized reference, and the identical
+// accuracy across pool sizes demonstrates the farm's bit-determinism;
+// the wall-clock column is what parallelism buys. Wall-clock, host
+// throughput, and speedup versus the single-board run are recorded in
+// the metrics pipeline (kind "farm").
+func (r *Runner) FarmBench() *report.Table {
+	ds := r.Dataset("digits")
+	o := r.runCandidate(ds, r.scalesFor("digits")[0])
+	if o.dep == nil {
+		panic(fmt.Sprintf("bench: farm experiment model not deployable: %v", o.deployErr))
+	}
+
+	// The full test split, even in quick mode: the farm exists to make
+	// full-test-set on-emulator evaluation affordable. The model was
+	// trained on the (possibly subsampled) runner dataset; evaluation
+	// uses the complete split of the same generator.
+	full := r.fullDataset("digits")
+
+	t := report.New(fmt.Sprintf("Board farm: full digits test set on-emulator (%d samples, %d host cores)",
+		full.TestX.Rows, runtime.NumCPU()),
+		"pool", "on-device acc", "host ref acc", "latency/inf", "wall", "infs/sec", "speedup")
+
+	hostAcc := o.dep.QModel.Accuracy(full.TestX, full.TestY)
+	var baseWallMS float64
+	for _, j := range r.farmPools() {
+		o.dep.Workers = j
+		acc, stats, err := o.dep.DeviceAccuracyChecked(full, 0)
+		if err != nil {
+			panic(fmt.Sprintf("bench: farm evaluation (-j %d): %v", j, err))
+		}
+		if acc != hostAcc {
+			panic(fmt.Sprintf("bench: farm accuracy %.4f diverges from host reference %.4f at -j %d",
+				acc, hostAcc, j))
+		}
+		wallMS := float64(stats.Wall.Microseconds()) / 1000
+		speedup := 1.0
+		if baseWallMS == 0 {
+			baseWallMS = wallMS
+		} else if wallMS > 0 {
+			speedup = baseWallMS / wallMS
+		}
+		t.Add(fmt.Sprintf("-j %d", j), report.Pct(acc), report.Pct(hostAcc),
+			report.MS(stats.LatencyMS()), fmt.Sprintf("%.0f ms", wallMS),
+			fmt.Sprintf("%.0f", stats.Throughput()),
+			fmt.Sprintf("%.2fx", speedup))
+		r.record(Metric{
+			Name: fmt.Sprintf("farm-digits-j%d", j), Kind: "farm",
+			Cycles: stats.MeanCycles, LatencyMS: stats.LatencyMS(),
+			Accuracy: acc, AccuracyFloat: o.floatAcc,
+			AccuracyDevice: acc, DeviceAccuracyN: stats.Items,
+			FlashBytes: o.bytes, RAMBytes: o.dep.Img.RAMBytes,
+			Workers: j, WallMS: wallMS, InfersPerSec: stats.Throughput(),
+			Speedup: speedup, Deployable: true,
+		})
+		r.logf("farm -j %d: acc %.4f, %d samples in %.0f ms (%.0f inf/s, %.2fx)",
+			j, acc, stats.Items, wallMS, stats.Throughput(), speedup)
+	}
+	o.dep.Workers = r.cfg.Workers
+	t.Note = "identical accuracy and per-input cycles at every pool size (bit-deterministic); speedup is host wall-clock only"
+	return t
+}
+
+// fullDataset returns the complete (never subsampled) dataset for name,
+// cached separately from the quick-mode training datasets.
+func (r *Runner) fullDataset(name string) *dataset.Dataset {
+	key := name + "-full"
+	if d, ok := r.data[key]; ok {
+		return d
+	}
+	if !r.cfg.Quick {
+		// Full mode never subsamples: reuse the training dataset.
+		return r.Dataset(name)
+	}
+	var cfg dataset.SynthConfig
+	switch name {
+	case "digits":
+		cfg = dataset.Digits()
+	case "mnist":
+		cfg = dataset.MNIST()
+	case "fashion":
+		cfg = dataset.FashionMNIST()
+	case "cifar5":
+		cfg = dataset.CIFAR5()
+	default:
+		panic("bench: unknown dataset " + name)
+	}
+	d := dataset.Generate(cfg)
+	r.data[key] = d
+	return d
+}

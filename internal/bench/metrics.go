@@ -38,6 +38,21 @@ type Metric struct {
 	Params        int     `json:"params,omitempty"`
 	Deployable    bool    `json:"deployable"`
 	Error         string  `json:"error,omitempty"` // deploy/measure failure, if any
+
+	// True on-emulator test-set accuracy, measured by running samples
+	// through the board farm and cross-checked prediction-by-prediction
+	// against the host quantized reference. DeviceAccuracyN is how many
+	// test samples were evaluated on-device (0 = not measured).
+	AccuracyDevice  float64 `json:"accuracy_device,omitempty"`
+	DeviceAccuracyN int     `json:"accuracy_device_n,omitempty"`
+
+	// Farm evaluation records (kind "farm"): pool size, host wall-clock
+	// for the batch, host-side inference throughput, and wall-clock
+	// speedup over the single-board run of the same batch.
+	Workers       int     `json:"workers,omitempty"`
+	WallMS        float64 `json:"wall_ms,omitempty"`
+	InfersPerSec  float64 `json:"infers_per_sec,omitempty"`
+	Speedup       float64 `json:"speedup,omitempty"`
 }
 
 // MetricsFile is the top-level metrics document.

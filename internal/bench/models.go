@@ -22,11 +22,28 @@ type outcome struct {
 	deployErr error              // why dep is nil, kept so the cache never hides failures
 	floatAcc  float64
 	quantAcc  float64
+	deviceAcc float64 // true on-emulator accuracy (farm-evaluated, cross-checked)
+	deviceN   int     // test samples evaluated on-device
 	params    int
 	latencyMS float64
 	cycles    uint64
 	instrs    uint64
 	bytes     int
+}
+
+// deviceAccuracySamples bounds the per-candidate on-emulator accuracy
+// evaluation: small test splits run in full; large ones are capped so a
+// 20-candidate sweep stays tractable (the dedicated farm experiment
+// evaluates a full test set without a cap).
+func (r *Runner) deviceAccuracySamples(testRows int) int {
+	limit := 512
+	if r.cfg.Quick {
+		limit = 160
+	}
+	if testRows < limit {
+		return testRows
+	}
+	return limit
 }
 
 // runCandidate trains, deploys, and measures one configuration,
@@ -52,6 +69,7 @@ func (r *Runner) runCandidate(ds *dataset.Dataset, c candidate) *outcome {
 		return o
 	}
 	o.dep = dep
+	dep.Workers = r.cfg.Workers
 	o.quantAcc = dep.Accuracy(ds)
 	o.bytes = dep.ProgramBytes()
 	ms, cycles, instrs, err := dep.MeasureStats(ds, 3)
@@ -59,15 +77,23 @@ func (r *Runner) runCandidate(ds *dataset.Dataset, c candidate) *outcome {
 		panic(fmt.Sprintf("bench: measuring %s: %v", c.name, err))
 	}
 	o.latencyMS, o.cycles, o.instrs = ms, cycles, instrs
+	// True on-emulator test-set accuracy through the board farm, with
+	// every prediction cross-checked against the host reference path.
+	o.deviceN = r.deviceAccuracySamples(ds.TestX.Rows)
+	o.deviceAcc, _, err = dep.DeviceAccuracyChecked(ds, o.deviceN)
+	if err != nil {
+		panic(fmt.Sprintf("bench: on-device accuracy for %s: %v", c.name, err))
+	}
 	r.record(Metric{
 		Name: c.name, Kind: "model", Encoding: neuroc.EncodingBlock.String(),
 		Cycles: cycles, Instructions: instrs, LatencyMS: ms,
 		Accuracy: o.quantAcc, AccuracyFloat: o.floatAcc,
+		AccuracyDevice: o.deviceAcc, DeviceAccuracyN: o.deviceN,
 		FlashBytes: o.bytes, RAMBytes: dep.Img.RAMBytes,
 		Params: o.params, Deployable: true,
 	})
-	r.logf("%s: acc %.4f (q %.4f) params %d lat %.2fms mem %dB",
-		c.name, o.floatAcc, o.quantAcc, o.params, o.latencyMS, o.bytes)
+	r.logf("%s: acc %.4f (q %.4f, device %.4f/n=%d) params %d lat %.2fms mem %dB",
+		c.name, o.floatAcc, o.quantAcc, o.deviceAcc, o.deviceN, o.params, o.latencyMS, o.bytes)
 	return o
 }
 

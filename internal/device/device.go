@@ -15,9 +15,13 @@ import (
 // ClockHz is the paper's system clock (8 MHz, zero flash wait states).
 const ClockHz = 8_000_000
 
-// maxInstructions bounds a single inference against runaway kernels
-// (the largest deployable model is well under this).
-const maxInstructions = 200_000_000
+// MaxInstructions is the default per-inference instruction budget,
+// bounding a single inference against runaway kernels (the largest
+// deployable model is well under this). It is exported so every harness
+// that drives a raw CPU — the bench ablations, the farm, the CLI tools —
+// shares one budget instead of inventing private caps that silently
+// truncate cycle counts.
+const MaxInstructions = 200_000_000
 
 // Result is one inference measurement.
 type Result struct {
@@ -61,17 +65,45 @@ func CyclesToMS(cycles uint64) float64 {
 type Device struct {
 	CPU *armv6m.CPU
 	Img *modelimg.Image
+
+	// Budget overrides the per-inference instruction budget when
+	// non-zero; zero uses MaxInstructions. Exposed so harnesses that
+	// expect non-terminating images (farm regression tests, fuzzing)
+	// can bound a run without waiting out the full default budget.
+	Budget uint64
 }
 
 // New loads img into a fresh board. The returned device can run many
 // inferences; each Run resets the core but keeps flash contents.
 func New(img *modelimg.Image) (*Device, error) {
 	cpu := armv6m.New()
-	if len(img.Prog.Code) > len(cpu.Bus.Flash) {
-		return nil, fmt.Errorf("device: image (%d bytes) exceeds flash", len(img.Prog.Code))
+	if err := cpu.Bus.LoadFlash(0, img.Prog.Code); err != nil {
+		return nil, fmt.Errorf("device: %w", err)
 	}
-	cpu.Bus.LoadFlash(0, img.Prog.Code)
 	return &Device{CPU: cpu, Img: img}, nil
+}
+
+// SharedFlash returns a full-size flash array populated with img,
+// suitable for NewOnFlash. Building it once and booting many boards on
+// it is how the farm shares one program image across workers: the
+// emulated core can never write flash, so the array is immutable for
+// the lifetime of every board referencing it.
+func SharedFlash(img *modelimg.Image) ([]byte, error) {
+	if len(img.Prog.Code) > armv6m.FlashSize {
+		return nil, fmt.Errorf("device: image (%d bytes) exceeds flash (%d bytes)",
+			len(img.Prog.Code), armv6m.FlashSize)
+	}
+	flash := make([]byte, armv6m.FlashSize)
+	copy(flash, img.Prog.Code)
+	return flash, nil
+}
+
+// NewOnFlash boots a board on a shared flash array built by
+// SharedFlash. The board has private SRAM, registers, and counters;
+// only the read-only program image is shared. Callers must not mutate
+// flash while any board built on it is running.
+func NewOnFlash(img *modelimg.Image, flash []byte) *Device {
+	return &Device{CPU: armv6m.NewSharedFlash(flash), Img: img}
 }
 
 // Run executes one inference on input (length must match the model's
@@ -108,7 +140,11 @@ func (d *Device) run(input []int8, trace *armv6m.Trace) (*Result, error) {
 			return nil, fmt.Errorf("device: writing input: %w", err)
 		}
 	}
-	if err := d.CPU.Run(maxInstructions); err != nil {
+	budget := d.Budget
+	if budget == 0 {
+		budget = MaxInstructions
+	}
+	if err := d.CPU.Run(budget); err != nil {
 		return nil, fmt.Errorf("device: inference: %w", err)
 	}
 	out := make([]int8, d.Img.OutDim)

@@ -1,0 +1,193 @@
+// Package farm runs a pool of independent emulated boards over a batch
+// of inputs: the emulated equivalent of a board farm, where one
+// immutable program image is flashed onto many devices and a test set
+// is split across them. Each worker owns a full Cortex-M0 core with
+// private SRAM and counters; all workers alias one read-only flash
+// array (the core cannot write flash, so sharing is race-free by
+// construction — see armv6m.NewBusSharedFlash).
+//
+// Results are deterministic and bit-identical to the serial path: every
+// inference starts from an architectural core reset with its input
+// buffer fully rewritten, so an input's output vector and cycle count
+// depend only on the image and the input, never on which worker ran it,
+// in what order, or how many workers exist. Map preserves input order.
+package farm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/neuro-c/neuroc/internal/device"
+	"github.com/neuro-c/neuroc/internal/modelimg"
+)
+
+// Options configures a Map run.
+type Options struct {
+	// Workers is the number of emulated boards; <= 0 uses
+	// runtime.GOMAXPROCS(0). Determinism does not depend on it.
+	Workers int
+
+	// Budget overrides the per-inference instruction budget when
+	// non-zero (0 uses device.MaxInstructions). A budget-exhausted
+	// inference surfaces as that item's Result.Err; it never wedges the
+	// pool or affects other items.
+	Budget uint64
+
+	// Configure, when non-nil, is applied to each worker's board after
+	// boot — the hook for cycle-model variations (wait states, slow
+	// multiplier, core profile). It must apply the same configuration
+	// to every board, or results stop being worker-independent.
+	Configure func(*device.Device)
+}
+
+// Result is the measurement for one input, at the same index Map
+// received it.
+type Result struct {
+	Output       []int8
+	Cycles       uint64
+	Instructions uint64
+	// Err is the per-item failure (bus fault, budget exhaustion).
+	// Items with Err != nil have no Output.
+	Err error
+}
+
+// Argmax returns the index of the largest output, the class decision
+// for classifier images; -1 when the item failed.
+func (r *Result) Argmax() int {
+	if r.Err != nil || len(r.Output) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(r.Output); i++ {
+		if r.Output[i] > r.Output[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Stats aggregates a Map run.
+type Stats struct {
+	Items   int           // inputs processed
+	Failed  int           // items with Err != nil
+	Workers int           // pool size actually used
+	Wall    time.Duration // host wall-clock for the whole batch
+
+	// Cycle statistics over successful items (all zero when none).
+	TotalCycles, MinCycles, MaxCycles, MeanCycles uint64
+}
+
+// LatencyMS is the mean emulated latency per successful inference.
+func (s *Stats) LatencyMS() float64 { return device.CyclesToMS(s.MeanCycles) }
+
+// Throughput is successful inferences per host second.
+func (s *Stats) Throughput() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Items-s.Failed) / s.Wall.Seconds()
+}
+
+// Map runs every input through the image on a pool of emulated boards
+// and returns one Result per input, in input order. All items are
+// always attempted — a failing item is recorded and the pool moves on —
+// and the returned error, non-nil if any item failed, is the
+// lowest-index item's error (deterministic regardless of worker count
+// or scheduling). The caller can therefore either treat the batch as
+// all-or-nothing via the error, or inspect per-item Errs.
+func Map(img *modelimg.Image, inputs [][]int8, opts Options) ([]Result, *Stats, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(inputs) && len(inputs) > 0 {
+		workers = len(inputs)
+	}
+	flash, err := device.SharedFlash(img)
+	if err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	results := make([]Result, len(inputs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			board := device.NewOnFlash(img, flash)
+			board.Budget = opts.Budget
+			if opts.Configure != nil {
+				opts.Configure(board)
+			}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(inputs) {
+					return
+				}
+				res, err := board.Run(inputs[i])
+				if err != nil {
+					results[i] = Result{Err: fmt.Errorf("farm: input %d: %w", i, err)}
+					continue
+				}
+				results[i] = Result{
+					Output:       res.Output,
+					Cycles:       res.Cycles,
+					Instructions: res.Instructions,
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	stats := &Stats{Items: len(inputs), Workers: workers, Wall: time.Since(start)}
+	var firstErr error
+	for i := range results {
+		if results[i].Err != nil {
+			stats.Failed++
+			if firstErr == nil {
+				firstErr = results[i].Err
+			}
+			continue
+		}
+		c := results[i].Cycles
+		stats.TotalCycles += c
+		if stats.MinCycles == 0 || c < stats.MinCycles {
+			stats.MinCycles = c
+		}
+		if c > stats.MaxCycles {
+			stats.MaxCycles = c
+		}
+	}
+	if ok := stats.Items - stats.Failed; ok > 0 {
+		stats.MeanCycles = stats.TotalCycles / uint64(ok)
+	}
+	return results, stats, firstErr
+}
+
+// Accuracy runs every input through the image and scores Argmax against
+// labels, the on-emulator equivalent of the host reference accuracy
+// path. It fails on the first (lowest-index) item error: a partially
+// evaluated test set is not an accuracy number.
+func Accuracy(img *modelimg.Image, inputs [][]int8, labels []int, opts Options) (float64, *Stats, error) {
+	if len(inputs) != len(labels) {
+		return 0, nil, fmt.Errorf("farm: %d inputs but %d labels", len(inputs), len(labels))
+	}
+	if len(inputs) == 0 {
+		return 0, nil, fmt.Errorf("farm: empty test set")
+	}
+	results, stats, err := Map(img, inputs, opts)
+	if err != nil {
+		return 0, stats, err
+	}
+	correct := 0
+	for i := range results {
+		if results[i].Argmax() == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(inputs)), stats, nil
+}

@@ -1,0 +1,284 @@
+package farm_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/neuro-c/neuroc/internal/armv6m"
+	"github.com/neuro-c/neuroc/internal/device"
+	"github.com/neuro-c/neuroc/internal/encoding"
+	"github.com/neuro-c/neuroc/internal/farm"
+	"github.com/neuro-c/neuroc/internal/modelimg"
+	"github.com/neuro-c/neuroc/internal/quant"
+	"github.com/neuro-c/neuroc/internal/rng"
+	"github.com/neuro-c/neuroc/internal/thumb"
+)
+
+// testImage builds a small two-layer ternary model image.
+func testImage(t *testing.T) *modelimg.Image {
+	t.Helper()
+	r := rng.New(42)
+	mkLayer := func(in, out int, relu bool) *quant.Layer {
+		a := encoding.NewMatrix(in, out)
+		for o := 0; o < out; o++ {
+			for i := 0; i < in; i++ {
+				if r.Bool(0.2) {
+					if r.Bool(0.5) {
+						a.Set(o, i, 1)
+					} else {
+						a.Set(o, i, -1)
+					}
+				}
+			}
+		}
+		l := &quant.Layer{
+			Kind: quant.Ternary, In: in, Out: out, A: a,
+			PerNeuron: true, ReLU: relu,
+			PreShift: 0, PostShift: 7,
+			Bias:  make([]int32, out),
+			Mults: make([]int32, out),
+		}
+		for o := 0; o < out; o++ {
+			l.Mults[o] = int32(r.Intn(100)) + 60
+			l.Bias[o] = int32(r.Intn(21)) - 10
+		}
+		return l
+	}
+	m := &quant.Model{
+		Layers:     []*quant.Layer{mkLayer(32, 24, true), mkLayer(24, 10, false)},
+		InputScale: 127,
+	}
+	img, err := modelimg.Build(m, modelimg.UseBlock)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return img
+}
+
+func testInputs(n, dim int) [][]int8 {
+	r := rng.New(7)
+	inputs := make([][]int8, n)
+	for i := range inputs {
+		in := make([]int8, dim)
+		for j := range in {
+			in[j] = int8(r.Intn(255) - 127)
+		}
+		inputs[i] = in
+	}
+	return inputs
+}
+
+// TestDeterminismAcrossWorkerCounts is the farm's core contract: the
+// same batch through -j 1 and -j 8 produces bit-identical outputs and
+// per-input cycle counts, and both match the serial device path.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	img := testImage(t)
+	inputs := testInputs(50, img.InDim)
+
+	serialDev, err := device.New(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r1, s1, err := farm.Map(img, inputs, farm.Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("-j 1: %v", err)
+	}
+	r8, s8, err := farm.Map(img, inputs, farm.Options{Workers: 8})
+	if err != nil {
+		t.Fatalf("-j 8: %v", err)
+	}
+	if s1.Workers != 1 || s8.Workers != 8 {
+		t.Fatalf("worker counts %d/%d, want 1/8", s1.Workers, s8.Workers)
+	}
+	for i := range inputs {
+		serial, err := serialDev.Run(inputs[i])
+		if err != nil {
+			t.Fatalf("serial input %d: %v", i, err)
+		}
+		for _, got := range []farm.Result{r1[i], r8[i]} {
+			if got.Err != nil {
+				t.Fatalf("input %d: %v", i, got.Err)
+			}
+			if fmt.Sprint(got.Output) != fmt.Sprint(serial.Output) {
+				t.Errorf("input %d: farm output %v, serial %v", i, got.Output, serial.Output)
+			}
+			if got.Cycles != serial.Cycles || got.Instructions != serial.Instructions {
+				t.Errorf("input %d: farm %d cycles / %d instrs, serial %d / %d",
+					i, got.Cycles, got.Instructions, serial.Cycles, serial.Instructions)
+			}
+		}
+	}
+	if s1.TotalCycles != s8.TotalCycles || s1.MinCycles != s8.MinCycles || s1.MaxCycles != s8.MaxCycles {
+		t.Errorf("aggregate cycles differ across -j: %+v vs %+v", s1, s8)
+	}
+}
+
+// TestRaceStressSharedImage hammers one shared image from many workers
+// over several rounds; run under -race (scripts/verify.sh does) this
+// proves the shared-flash design has no data races.
+func TestRaceStressSharedImage(t *testing.T) {
+	img := testImage(t)
+	inputs := testInputs(120, img.InDim)
+	want, _, err := farm.Map(img, inputs, farm.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 4; round++ {
+		got, _, err := farm.Map(img, inputs, farm.Options{Workers: 16})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for i := range got {
+			if fmt.Sprint(got[i].Output) != fmt.Sprint(want[i].Output) || got[i].Cycles != want[i].Cycles {
+				t.Fatalf("round %d input %d diverged", round, i)
+			}
+		}
+	}
+}
+
+// spinImage hand-assembles an image that never reaches BKPT, for
+// exercising the instruction-budget error path.
+func spinImage(t *testing.T) *modelimg.Image {
+	t.Helper()
+	src := fmt.Sprintf(`	.word 0x%08x
+	.word entry + 1
+entry:
+	b entry
+	bkpt #0
+`, armv6m.SRAMBase+armv6m.SRAMSize)
+	prog, err := thumb.Assemble(src, armv6m.FlashBase)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return &modelimg.Image{
+		Prog:   prog,
+		InAddr: armv6m.SRAMBase, OutAddr: armv6m.SRAMBase + 16,
+		InDim: 1, OutDim: 1,
+	}
+}
+
+// TestBudgetErrorDoesNotWedgePool runs a never-halting image through
+// the pool: every item must surface a BudgetError, the pool must drain
+// (no deadlock), and the aggregate error must be the lowest-index
+// item's, independent of worker count.
+func TestBudgetErrorDoesNotWedgePool(t *testing.T) {
+	img := spinImage(t)
+	inputs := testInputs(12, 1)
+	for _, workers := range []int{1, 6} {
+		results, stats, err := farm.Map(img, inputs, farm.Options{Workers: workers, Budget: 10_000})
+		if err == nil {
+			t.Fatalf("-j %d: no error from a never-halting image", workers)
+		}
+		var be *armv6m.BudgetError
+		if !errors.As(err, &be) {
+			t.Fatalf("-j %d: error %v, want BudgetError", workers, err)
+		}
+		if want := fmt.Sprintf("farm: input 0:"); err.Error()[:len(want)] != want {
+			t.Errorf("-j %d: aggregate error %q not the lowest-index item's", workers, err)
+		}
+		if stats.Failed != len(inputs) {
+			t.Errorf("-j %d: %d failures, want %d", workers, stats.Failed, len(inputs))
+		}
+		for i, r := range results {
+			if r.Err == nil {
+				t.Errorf("-j %d: input %d unexpectedly succeeded", workers, i)
+			}
+			if r.Argmax() != -1 {
+				t.Errorf("-j %d: failed input %d has an argmax", workers, i)
+			}
+		}
+	}
+}
+
+// TestMixedFailure checks that one bad item (wrong input length) fails
+// alone while the rest of the batch completes.
+func TestMixedFailure(t *testing.T) {
+	img := testImage(t)
+	inputs := testInputs(10, img.InDim)
+	inputs[3] = make([]int8, img.InDim+1)
+	results, stats, err := farm.Map(img, inputs, farm.Options{Workers: 4})
+	if err == nil {
+		t.Fatal("no aggregate error for a bad item")
+	}
+	if stats.Failed != 1 {
+		t.Fatalf("failed = %d, want 1", stats.Failed)
+	}
+	for i, r := range results {
+		if (r.Err != nil) != (i == 3) {
+			t.Errorf("input %d: err = %v", i, r.Err)
+		}
+	}
+}
+
+// TestAccuracy scores the farm's argmax path against the host
+// quantized reference on the same inputs.
+func TestAccuracy(t *testing.T) {
+	img := testImage(t)
+	inputs := testInputs(40, img.InDim)
+	// Labels from the serial device itself: accuracy must then be 1.0,
+	// and any farm/serial divergence shows up as a miss.
+	dev, err := device.New(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := make([]int, len(inputs))
+	for i := range inputs {
+		pred, _, err := dev.Predict(inputs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels[i] = pred
+	}
+	acc, stats, err := farm.Accuracy(img, inputs, labels, farm.Options{Workers: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != 1.0 {
+		t.Errorf("accuracy %v, want 1.0 against device-derived labels", acc)
+	}
+	if stats.Items != len(inputs) || stats.Failed != 0 {
+		t.Errorf("stats %+v", stats)
+	}
+	if _, _, err := farm.Accuracy(img, inputs, labels[:3], farm.Options{}); err == nil {
+		t.Error("mismatched labels accepted")
+	}
+}
+
+// TestConfigureAppliesToEveryBoard verifies per-board configuration
+// (here: one flash wait state) reaches all workers — every item must
+// report more cycles than the zero-wait-state run.
+func TestConfigureAppliesToEveryBoard(t *testing.T) {
+	img := testImage(t)
+	inputs := testInputs(20, img.InDim)
+	base, _, err := farm.Map(img, inputs, farm.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, _, err := farm.Map(img, inputs, farm.Options{
+		Workers:   4,
+		Configure: func(d *device.Device) { d.CPU.Bus.FlashWaitStates = 1 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range inputs {
+		if ws[i].Cycles <= base[i].Cycles {
+			t.Fatalf("input %d: wait-state run %d cycles <= base %d", i, ws[i].Cycles, base[i].Cycles)
+		}
+	}
+}
+
+// TestSharedFlashRejectsOversizedImage covers the LoadFlash error path
+// end to end: an image larger than flash is a reported failure.
+func TestSharedFlashRejectsOversizedImage(t *testing.T) {
+	img := spinImage(t)
+	img.Prog.Code = make([]byte, armv6m.FlashSize+4)
+	if _, _, err := farm.Map(img, testInputs(1, 1), farm.Options{}); err == nil {
+		t.Error("oversized image accepted")
+	}
+	if _, err := device.New(img); err == nil {
+		t.Error("device.New accepted an oversized image")
+	}
+}

@@ -19,12 +19,19 @@ go test ./...
 echo "== asmcheck (static verification of all generated kernels)"
 go run ./cmd/asmcheck -kernels
 
+echo "== farm race-stress (shared-flash board farm under the race detector)"
+go test -race -count=1 ./internal/farm/...
+
 echo "== bench-smoke (quick device-measured experiments + metrics JSON)"
 # table1/fig2/fig3/fig5 are the training-free experiments: they deploy
 # and measure on the emulated M0 in seconds, which is what the smoke
-# gate needs. `neuroc-bench -quick -metrics bench_quick.json` (all
-# experiments) produces the same file at CI-training scale.
-go run ./cmd/neuroc-bench -exp table1,fig2,fig3,fig5 -quick -metrics bench_quick.json > /dev/null
+# gate needs. farm adds the board-farm parallel evaluation: full digits
+# test-set accuracy on-emulator, with wall-clock and speedup recorded
+# into the same neuroc-metrics/v1 file (the -j 4 run is bit-identical
+# to -j 1; only wall-clock changes, and only on multi-core hosts).
+# `neuroc-bench -quick -metrics bench_quick.json` (all experiments)
+# produces the same file at CI-training scale.
+go run ./cmd/neuroc-bench -exp table1,fig2,fig3,fig5,farm -quick -j 4 -metrics bench_quick.json > /dev/null
 
 echo "== metricscheck"
 go run ./cmd/metricscheck bench_quick.json
