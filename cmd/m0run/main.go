@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"time"
 
@@ -55,7 +57,15 @@ func main() {
 	profJSON := flag.String("profile-json", "", "write the full profile as JSON to this file")
 	batch := flag.String("batch", "", "raw file of concatenated input records (model input dim each): run all of them on the board farm (requires -model)")
 	workers := flag.Int("j", 0, "board-farm workers for -batch (0 = all host cores); results are bit-identical for any value")
+	cpuprofile := flag.String("cpuprofile", "", "write a host pprof CPU profile of the emulator to this file")
+	memprofile := flag.String("memprofile", "", "write a host pprof heap profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	if *img == "" && *model == "" {
 		fatal(fmt.Errorf("-img or -model is required"))
@@ -272,6 +282,8 @@ func runBatch(image *modelimg.Image, path string, workers int, maxInstr uint64, 
 	}
 	fmt.Printf("batch: %d inputs, %d failed, %d workers, wall %v (%.0f inf/s)\n",
 		stats.Items, stats.Failed, stats.Workers, stats.Wall.Round(time.Millisecond), stats.Throughput())
+	fmt.Printf("emulation: %.0f host MIPS (%d instructions retired), predecode build %.2f ms\n",
+		stats.HostMIPS(), stats.Instructions, float64(stats.PredecodeBuild.Microseconds())/1000)
 	if stats.Items > stats.Failed {
 		fmt.Printf("cycles: mean %d, min %d, max %d (mean %.3f ms @ 8 MHz)\n",
 			stats.MeanCycles, stats.MinCycles, stats.MaxCycles, stats.LatencyMS())
@@ -284,6 +296,44 @@ func runBatch(image *modelimg.Image, path string, workers int, maxInstr uint64, 
 		}
 		fatal(batchErr)
 	}
+}
+
+// startProfiles starts a host CPU profile and/or arranges a heap
+// profile, returning a stop function to run on normal exit. Error-path
+// os.Exit calls skip it, which only loses profiles of failed runs.
+func startProfiles(cpu, mem string) (func(), error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "m0run: cpuprofile:", err)
+			}
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "m0run: memprofile:", err)
+				return
+			}
+			runtime.GC() // report live heap, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "m0run: memprofile:", err)
+			}
+			f.Close()
+		}
+	}, nil
 }
 
 func parseAddr(s string) (uint32, error) {

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"github.com/neuro-c/neuroc/internal/bench"
@@ -80,7 +82,16 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	metrics := flag.String("metrics", "", "write structured per-experiment metrics JSON to this file")
 	workers := flag.Int("j", 0, "board-farm workers for device measurements (0 = all host cores); results are bit-identical for any value")
+	cpuprofile := flag.String("cpuprofile", "", "write a host pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a host pprof heap profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "neuroc-bench:", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	if *list {
 		for _, e := range experiments {
@@ -128,6 +139,43 @@ func main() {
 		fmt.Fprintf(os.Stderr, "neuroc-bench: wrote %d experiment metrics to %s\n",
 			len(r.Metrics().Experiments), *metrics)
 	}
+}
+
+// startProfiles starts a host CPU profile and/or arranges a heap
+// profile, returning a stop function to run on normal exit.
+func startProfiles(cpu, mem string) (func(), error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "neuroc-bench: cpuprofile:", err)
+			}
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "neuroc-bench: memprofile:", err)
+				return
+			}
+			runtime.GC() // report live heap, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "neuroc-bench: memprofile:", err)
+			}
+			f.Close()
+		}
+	}, nil
 }
 
 func contains(xs []string, s string) bool {

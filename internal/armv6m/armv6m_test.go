@@ -14,7 +14,7 @@ const codeBase = armv6m.FlashBase + 0x10
 
 // boot assembles src, builds a minimal flash image (vector table + code),
 // and returns a CPU that has been reset and is ready to run.
-func boot(t *testing.T, src string) (*armv6m.CPU, *thumb.Program) {
+func boot(t testing.TB, src string) (*armv6m.CPU, *thumb.Program) {
 	t.Helper()
 	prog, err := thumb.Assemble(src, codeBase)
 	if err != nil {

@@ -74,6 +74,15 @@ type Bus struct {
 	// sharedFlash marks a bus whose Flash slice aliases an array owned
 	// elsewhere (NewBusSharedFlash); LoadFlash refuses to write it.
 	sharedFlash bool
+
+	// flashGen counts LoadFlash mutations; the CPU's predecoded
+	// instruction table records the generation it was built against and
+	// rebuilds when they diverge (see predecode.go).
+	flashGen uint32
+	// loadedLen is the high-water mark of bytes written by LoadFlash
+	// (the whole array for a shared bus): the prefix worth predecoding.
+	// Execution beyond it falls back to the interpreted path.
+	loadedLen int
 }
 
 // NewBus returns a bus with the STM32F072RB memory map (128 KB flash,
@@ -102,16 +111,22 @@ func NewBusSharedFlash(flash []byte) *Bus {
 		FlashBase:   FlashBase,
 		SRAMBase:    SRAMBase,
 		sharedFlash: true,
+		loadedLen:   len(flash),
 	}
 }
 
-// inFlash reports whether [addr, addr+size) lies inside flash.
+// inFlash reports whether [addr, addr+size) lies inside flash. The
+// checks are written against the offset, not addr+size, so addresses
+// near the top of the 32-bit space cannot wrap past the bound (e.g. a
+// word read at 0xfffffffc must fault, not alias into the region).
 func (b *Bus) inFlash(addr uint32, size int) bool {
-	return addr >= b.FlashBase && addr+uint32(size) <= b.FlashBase+uint32(len(b.Flash))
+	n, s := uint32(len(b.Flash)), uint32(size)
+	return addr >= b.FlashBase && s <= n && addr-b.FlashBase <= n-s
 }
 
 func (b *Bus) inSRAM(addr uint32, size int) bool {
-	return addr >= b.SRAMBase && addr+uint32(size) <= b.SRAMBase+uint32(len(b.SRAM))
+	n, s := uint32(len(b.SRAM)), uint32(size)
+	return addr >= b.SRAMBase && s <= n && addr-b.SRAMBase <= n-s
 }
 
 // region resolves addr to the backing slice, or nil if unmapped. Flash
@@ -124,7 +139,7 @@ func (b *Bus) region(addr uint32, size int, write bool) ([]byte, int, error) {
 		}
 		b.FlashReads++
 		return b.Flash, int(addr - b.FlashBase), nil
-	case addr+uint32(size) <= uint32(len(b.Flash)): // boot alias at 0
+	case uint32(size) <= uint32(len(b.Flash)) && addr <= uint32(len(b.Flash))-uint32(size): // boot alias at 0, wrap-safe
 		if write {
 			return nil, 0, &BusFault{Addr: addr, Size: size, Write: true, Why: "write to flash alias"}
 		}
@@ -236,5 +251,9 @@ func (b *Bus) LoadFlash(off int, img []byte) error {
 		return fmt.Errorf("armv6m: LoadFlash %d+%d exceeds flash size %d", off, len(img), len(b.Flash))
 	}
 	copy(b.Flash[off:], img)
+	if off+len(img) > b.loadedLen {
+		b.loadedLen = off + len(img)
+	}
+	b.flashGen++
 	return nil
 }

@@ -80,6 +80,16 @@ type CPU struct {
 	// trace.go). Nil — the default — keeps Step on its fast path: the
 	// only added cost is a nil check.
 	Trace *Trace
+
+	// ptab is the predecoded execution table (see predecode.go), built
+	// lazily on first Step or attached via UsePredecode; ptabGen is the
+	// Bus.flashGen it was built against, so LoadFlash invalidates it.
+	ptab    *PredecodeTable
+	ptabGen uint32
+	// DisablePredecode forces every Step through the fetch/decode
+	// interpreter. The differential tests run a legacy core with this
+	// set against a predecoded one and require bit-identical state.
+	DisablePredecode bool
 }
 
 // New returns a CPU wired to a fresh STM32F072-like bus with the
@@ -225,6 +235,26 @@ func (c *CPU) Step() error {
 		}
 	}
 	instrAddr := c.R[PC]
+	if e := c.pentryAt(instrAddr); e != nil {
+		// Predecoded fast path: the fetch is not performed (the entry
+		// proves the PC is a readable, aligned flash halfword) but is
+		// accounted exactly as the interpreted fetch16 would.
+		c.Bus.FlashReads++
+		c.Cycles += uint64(c.Bus.FlashWaitStates)
+		cycles, err := e.fn(c, e)
+		if err != nil {
+			return fmt.Errorf("at 0x%08x (op 0x%04x): %w", instrAddr, e.op, err)
+		}
+		c.Cycles += uint64(cycles)
+		c.Instructions++
+		if c.SysTick.tick(int64(cycles)) {
+			c.pendingIRQ = true
+		}
+		if c.Halted {
+			return ErrHalted
+		}
+		return nil
+	}
 	op, err := c.fetch16()
 	if err != nil {
 		return fmt.Errorf("fetch at 0x%08x: %w", instrAddr, err)
@@ -273,6 +303,26 @@ func (c *CPU) stepTraced() error {
 	flashBefore := c.Bus.FlashReads
 	sramRBefore := c.Bus.SRAMReads
 	sramWBefore := c.Bus.SRAMWrites
+	if e := c.pentryAt(instrAddr); e != nil {
+		// Predecoded fast path, mirroring Step; attribution sees the
+		// same fetch accounting and the same original halfword.
+		c.Bus.FlashReads++
+		c.Cycles += uint64(c.Bus.FlashWaitStates)
+		cycles, err := e.fn(c, e)
+		if err != nil {
+			return fmt.Errorf("at 0x%08x (op 0x%04x): %w", instrAddr, e.op, err)
+		}
+		c.Cycles += uint64(cycles)
+		c.Instructions++
+		c.Trace.record(c, instrAddr, uint32(e.op), c.Cycles-instrStart, flashBefore, sramRBefore, sramWBefore)
+		if c.SysTick.tick(int64(cycles)) {
+			c.pendingIRQ = true
+		}
+		if c.Halted {
+			return ErrHalted
+		}
+		return nil
+	}
 	op, err := c.fetch16()
 	if err != nil {
 		return fmt.Errorf("fetch at 0x%08x: %w", instrAddr, err)
@@ -312,8 +362,14 @@ func (e *BudgetError) Error() string {
 
 // Run executes instructions until the core halts via BKPT (returning
 // nil), faults (returning the fault), or maxInstructions retire without
-// halting (returning a *BudgetError, to catch runaway kernels).
+// halting (returning a *BudgetError, to catch runaway kernels). With no
+// trace attached it runs the predecoded steady-state loop
+// (runPredecoded); the Step-per-instruction path below is semantically
+// identical and remains for traced and predecode-disabled runs.
 func (c *CPU) Run(maxInstructions uint64) error {
+	if c.Trace == nil && !c.DisablePredecode {
+		return c.runPredecoded(maxInstructions)
+	}
 	for i := uint64(0); i < maxInstructions; i++ {
 		err := c.Step()
 		if err == nil {

@@ -42,7 +42,7 @@ func (r *Runner) FarmBench() *report.Table {
 
 	t := report.New(fmt.Sprintf("Board farm: full digits test set on-emulator (%d samples, %d host cores)",
 		full.TestX.Rows, runtime.NumCPU()),
-		"pool", "on-device acc", "host ref acc", "latency/inf", "wall", "infs/sec", "speedup")
+		"pool", "on-device acc", "host ref acc", "latency/inf", "wall", "infs/sec", "speedup", "host MIPS")
 
 	hostAcc := o.dep.QModel.Accuracy(full.TestX, full.TestY)
 	var baseWallMS float64
@@ -66,7 +66,8 @@ func (r *Runner) FarmBench() *report.Table {
 		t.Add(fmt.Sprintf("-j %d", j), report.Pct(acc), report.Pct(hostAcc),
 			report.MS(stats.LatencyMS()), fmt.Sprintf("%.0f ms", wallMS),
 			fmt.Sprintf("%.0f", stats.Throughput()),
-			fmt.Sprintf("%.2fx", speedup))
+			fmt.Sprintf("%.2fx", speedup),
+			fmt.Sprintf("%.0f", stats.HostMIPS()))
 		r.record(Metric{
 			Name: fmt.Sprintf("farm-digits-j%d", j), Kind: "farm",
 			Cycles: stats.MeanCycles, LatencyMS: stats.LatencyMS(),
@@ -75,9 +76,12 @@ func (r *Runner) FarmBench() *report.Table {
 			FlashBytes: o.bytes, RAMBytes: o.dep.Img.RAMBytes,
 			Workers: j, WallMS: wallMS, InfersPerSec: stats.Throughput(),
 			Speedup: speedup, Deployable: true,
+			HostMIPS:         stats.HostMIPS(),
+			PredecodeBuildMS: float64(stats.PredecodeBuild.Microseconds()) / 1000,
 		})
-		r.logf("farm -j %d: acc %.4f, %d samples in %.0f ms (%.0f inf/s, %.2fx)",
-			j, acc, stats.Items, wallMS, stats.Throughput(), speedup)
+		r.logf("farm -j %d: acc %.4f, %d samples in %.0f ms (%.0f inf/s, %.2fx, %.0f host MIPS, predecode %.2f ms)",
+			j, acc, stats.Items, wallMS, stats.Throughput(), speedup,
+			stats.HostMIPS(), float64(stats.PredecodeBuild.Microseconds())/1000)
 	}
 	o.dep.Workers = r.cfg.Workers
 	t.Note = "identical accuracy and per-input cycles at every pool size (bit-deterministic); speedup is host wall-clock only"

@@ -53,6 +53,13 @@ type Metric struct {
 	WallMS        float64 `json:"wall_ms,omitempty"`
 	InfersPerSec  float64 `json:"infers_per_sec,omitempty"`
 	Speedup       float64 `json:"speedup,omitempty"`
+
+	// Emulation-throughput observability: millions of emulated
+	// instructions retired per host second across the pool, and the
+	// one-time host cost of predecoding the flash image into the
+	// shared execution table. Optional — only farm records carry them.
+	HostMIPS         float64 `json:"host_mips,omitempty"`
+	PredecodeBuildMS float64 `json:"predecode_build_ms,omitempty"`
 }
 
 // MetricsFile is the top-level metrics document.
@@ -118,6 +125,17 @@ func ValidateMetricsJSON(data []byte) error {
 		for _, k := range requiredMetricKeys {
 			if _, ok := e[k]; !ok {
 				return fmt.Errorf("metrics: experiment %d missing required key %q", i, k)
+			}
+		}
+		// Optional observability keys must be numbers when present.
+		for _, k := range []string{"host_mips", "predecode_build_ms"} {
+			raw, ok := e[k]
+			if !ok {
+				continue
+			}
+			var v float64
+			if err := json.Unmarshal(raw, &v); err != nil {
+				return fmt.Errorf("metrics: experiment %d key %q is not a number: %s", i, k, raw)
 			}
 		}
 	}

@@ -74,12 +74,15 @@ type Device struct {
 }
 
 // New loads img into a fresh board. The returned device can run many
-// inferences; each Run resets the core but keeps flash contents.
+// inferences; each Run resets the core but keeps flash contents. The
+// predecoded execution table (armv6m.Predecode) is built here, once per
+// image, so the first inference is as fast as every later one.
 func New(img *modelimg.Image) (*Device, error) {
 	cpu := armv6m.New()
 	if err := cpu.Bus.LoadFlash(0, img.Prog.Code); err != nil {
 		return nil, fmt.Errorf("device: %w", err)
 	}
+	cpu.PredecodeNow()
 	return &Device{CPU: cpu, Img: img}, nil
 }
 
@@ -101,9 +104,45 @@ func SharedFlash(img *modelimg.Image) ([]byte, error) {
 // NewOnFlash boots a board on a shared flash array built by
 // SharedFlash. The board has private SRAM, registers, and counters;
 // only the read-only program image is shared. Callers must not mutate
-// flash while any board built on it is running.
+// flash while any board built on it is running. Each board predecodes
+// the image privately on its first Step; use FlashImage to share one
+// table across boards as well.
 func NewOnFlash(img *modelimg.Image, flash []byte) *Device {
 	return &Device{CPU: armv6m.NewSharedFlash(flash), Img: img}
+}
+
+// FlashImage is a program image prepared for mass deployment: the
+// shared flash array plus the predecoded execution table built from it,
+// both immutable. Booting a board from it (NewBoard) shares everything
+// the boards can share — flash bytes and decoded instructions — leaving
+// only SRAM, registers, and counters private, so the per-board setup
+// cost is O(SRAM) rather than O(image).
+type FlashImage struct {
+	Img   *modelimg.Image
+	Flash []byte
+	Table *armv6m.PredecodeTable
+}
+
+// NewFlashImage builds the shared flash array and predecodes the image
+// text once.
+func NewFlashImage(img *modelimg.Image) (*FlashImage, error) {
+	flash, err := SharedFlash(img)
+	if err != nil {
+		return nil, err
+	}
+	return &FlashImage{
+		Img:   img,
+		Flash: flash,
+		Table: armv6m.Predecode(flash, len(img.Prog.Code)),
+	}, nil
+}
+
+// NewBoard boots a fresh board on the shared flash and attaches the
+// shared predecode table.
+func (f *FlashImage) NewBoard() *Device {
+	d := NewOnFlash(f.Img, f.Flash)
+	d.CPU.UsePredecode(f.Table)
+	return d
 }
 
 // Run executes one inference on input (length must match the model's

@@ -78,6 +78,14 @@ type Stats struct {
 
 	// Cycle statistics over successful items (all zero when none).
 	TotalCycles, MinCycles, MaxCycles, MeanCycles uint64
+
+	// Instructions is the total retired over successful items, the
+	// numerator of the host-throughput figure (HostMIPS).
+	Instructions uint64
+
+	// PredecodeBuild is the one-time host cost of decoding the image
+	// into the execution table shared by every worker.
+	PredecodeBuild time.Duration
 }
 
 // LatencyMS is the mean emulated latency per successful inference.
@@ -89,6 +97,15 @@ func (s *Stats) Throughput() float64 {
 		return 0
 	}
 	return float64(s.Items-s.Failed) / s.Wall.Seconds()
+}
+
+// HostMIPS is the emulation rate: millions of emulated instructions
+// retired per host second, summed across workers.
+func (s *Stats) HostMIPS() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Instructions) / s.Wall.Seconds() / 1e6
 }
 
 // Map runs every input through the image on a pool of emulated boards
@@ -106,7 +123,7 @@ func Map(img *modelimg.Image, inputs [][]int8, opts Options) ([]Result, *Stats, 
 	if workers > len(inputs) && len(inputs) > 0 {
 		workers = len(inputs)
 	}
-	flash, err := device.SharedFlash(img)
+	fi, err := device.NewFlashImage(img)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -118,7 +135,7 @@ func Map(img *modelimg.Image, inputs [][]int8, opts Options) ([]Result, *Stats, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			board := device.NewOnFlash(img, flash)
+			board := fi.NewBoard()
 			board.Budget = opts.Budget
 			if opts.Configure != nil {
 				opts.Configure(board)
@@ -143,7 +160,10 @@ func Map(img *modelimg.Image, inputs [][]int8, opts Options) ([]Result, *Stats, 
 	}
 	wg.Wait()
 
-	stats := &Stats{Items: len(inputs), Workers: workers, Wall: time.Since(start)}
+	stats := &Stats{
+		Items: len(inputs), Workers: workers, Wall: time.Since(start),
+		PredecodeBuild: fi.Table.BuildTime(),
+	}
 	var firstErr error
 	for i := range results {
 		if results[i].Err != nil {
@@ -153,6 +173,7 @@ func Map(img *modelimg.Image, inputs [][]int8, opts Options) ([]Result, *Stats, 
 			}
 			continue
 		}
+		stats.Instructions += results[i].Instructions
 		c := results[i].Cycles
 		stats.TotalCycles += c
 		if stats.MinCycles == 0 || c < stats.MinCycles {

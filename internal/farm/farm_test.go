@@ -3,7 +3,9 @@ package farm_test
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
+	"time"
 
 	"github.com/neuro-c/neuroc/internal/armv6m"
 	"github.com/neuro-c/neuroc/internal/device"
@@ -16,7 +18,7 @@ import (
 )
 
 // testImage builds a small two-layer ternary model image.
-func testImage(t *testing.T) *modelimg.Image {
+func testImage(t testing.TB) *modelimg.Image {
 	t.Helper()
 	r := rng.New(42)
 	mkLayer := func(in, out int, relu bool) *quant.Layer {
@@ -113,6 +115,12 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 	if s1.TotalCycles != s8.TotalCycles || s1.MinCycles != s8.MinCycles || s1.MaxCycles != s8.MaxCycles {
 		t.Errorf("aggregate cycles differ across -j: %+v vs %+v", s1, s8)
 	}
+	if s1.Instructions != s8.Instructions || s1.Instructions == 0 {
+		t.Errorf("instruction totals %d/%d, want equal and non-zero", s1.Instructions, s8.Instructions)
+	}
+	if s8.HostMIPS() <= 0 || s8.PredecodeBuild <= 0 {
+		t.Errorf("throughput stats not populated: MIPS %v, predecode %v", s8.HostMIPS(), s8.PredecodeBuild)
+	}
 }
 
 // TestRaceStressSharedImage hammers one shared image from many workers
@@ -136,6 +144,91 @@ func TestRaceStressSharedImage(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestSharedPredecodeTableRace exercises the one-table-many-cores
+// design directly: a single FlashImage (one flash array, one predecoded
+// execution table) is handed to many goroutines that each boot private
+// boards and run inferences concurrently. Under -race (scripts/verify.sh
+// runs this package with it) any write to the shared table or flash
+// during execution is a hard failure; the result check proves the
+// sharing is also semantically inert.
+func TestSharedPredecodeTableRace(t *testing.T) {
+	img := testImage(t)
+	inputs := testInputs(16, img.InDim)
+	fi, err := device.NewFlashImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Table.BuildTime() <= 0 {
+		t.Error("shared image has no predecode build time")
+	}
+
+	serial := fi.NewBoard()
+	want := make([]string, len(inputs))
+	for i := range inputs {
+		res, err := serial.Run(inputs[i])
+		if err != nil {
+			t.Fatalf("serial input %d: %v", i, err)
+		}
+		want[i] = fmt.Sprint(res.Output, res.Cycles)
+	}
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each goroutine boots a fresh board per round, so board
+			// construction (which binds the shared table) races with
+			// other goroutines' execution.
+			for round := 0; round < 3; round++ {
+				board := fi.NewBoard()
+				for i := range inputs {
+					res, err := board.Run(inputs[i])
+					if err != nil {
+						errs <- fmt.Errorf("input %d: %w", i, err)
+						return
+					}
+					if got := fmt.Sprint(res.Output, res.Cycles); got != want[i] {
+						errs <- fmt.Errorf("input %d: %s, want %s", i, got, want[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// BenchmarkFarmMap measures batch throughput through the full farm
+// path — shared predecode table, worker pool, per-input core reset —
+// and reports the aggregate emulation rate in emulated MIPS.
+func BenchmarkFarmMap(b *testing.B) {
+	img := testImage(b)
+	inputs := testInputs(256, img.InDim)
+	var instructions uint64
+	var wall time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, stats, err := farm.Map(img, inputs, farm.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		instructions += stats.Instructions
+		wall += stats.Wall
+	}
+	b.StopTimer()
+	if wall > 0 {
+		b.ReportMetric(float64(instructions)/wall.Seconds()/1e6, "MIPS")
+	}
+	b.ReportMetric(float64(len(inputs)*b.N)/b.Elapsed().Seconds(), "inf/s")
 }
 
 // spinImage hand-assembles an image that never reaches BKPT, for

@@ -22,6 +22,14 @@ go run ./cmd/asmcheck -kernels
 echo "== farm race-stress (shared-flash board farm under the race detector)"
 go test -race -count=1 ./internal/farm/...
 
+echo "== bench-regression smoke (predecoded fast interpreter still wired up)"
+# One iteration of the paired Predecoded/Legacy benchmarks: proves the
+# predecoded path is selected, runs, and stays in parity with the
+# legacy interpreter (the benchmark bodies assert nothing but would
+# fail on any execution error). Real throughput comparisons need
+# -benchtime 1s and an idle host; this is a wiring gate, not a perf gate.
+go test -run '^$' -bench 'Inference|FarmMap' -benchtime 1x ./internal/armv6m/ ./internal/farm/
+
 echo "== bench-smoke (quick device-measured experiments + metrics JSON)"
 # table1/fig2/fig3/fig5 are the training-free experiments: they deploy
 # and measure on the emulated M0 in seconds, which is what the smoke
