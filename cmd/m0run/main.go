@@ -30,6 +30,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strconv"
+	"strings"
 	"time"
 
 	"github.com/neuro-c/neuroc/internal/armv6m"
@@ -38,6 +39,7 @@ import (
 	"github.com/neuro-c/neuroc/internal/modelimg"
 	"github.com/neuro-c/neuroc/internal/profile"
 	"github.com/neuro-c/neuroc/internal/quant"
+	"github.com/neuro-c/neuroc/internal/telemetry"
 )
 
 func main() {
@@ -55,6 +57,7 @@ func main() {
 	traceN := flag.Uint64("trace", 0, "print the first N executed instructions to stderr")
 	folded := flag.String("folded", "", "write a flamegraph-compatible folded-stack profile to this file")
 	profJSON := flag.String("profile-json", "", "write the full profile as JSON to this file")
+	layers := flag.Bool("layers", false, "build with on-device telemetry markers and print per-layer cycle attribution (requires -model; with -batch, aggregated across the batch)")
 	batch := flag.String("batch", "", "raw file of concatenated input records (model input dim each): run all of them on the board farm (requires -model)")
 	workers := flag.Int("j", 0, "board-farm workers for -batch (0 = all host cores); results are bit-identical for any value")
 	cpuprofile := flag.String("cpuprofile", "", "write a host pprof CPU profile of the emulator to this file")
@@ -69,6 +72,16 @@ func main() {
 
 	if *img == "" && *model == "" {
 		fatal(fmt.Errorf("-img or -model is required"))
+	}
+	if *layers && *model == "" {
+		fatal(fmt.Errorf("-layers requires -model: layer markers are emitted when the image is built"))
+	}
+	if *batch != "" {
+		if conflicts := batchFlagConflicts(*prof, *traceN, *folded, *profJSON, *in, *dumpAddr); len(conflicts) != 0 {
+			fatal(fmt.Errorf("-batch is incompatible with %s: the farm runs boards in parallel without "+
+				"per-board tracing; run without -batch for a traced single inference, or use -layers "+
+				"for per-layer cycles across the batch", strings.Join(conflicts, ", ")))
+		}
 	}
 	var code []byte
 	var symbols map[string]uint32
@@ -87,7 +100,7 @@ func main() {
 			"block": modelimg.UseBlock, "csc": modelimg.UseCSC,
 			"delta": modelimg.UseDelta, "mixed": modelimg.UseMixed,
 		}[*encName]
-		image, err = modelimg.Build(qm, enc)
+		image, err = modelimg.BuildOpts(qm, modelimg.BuildOptions{Encoding: enc, Telemetry: *layers})
 		if err != nil {
 			fatal(err)
 		}
@@ -115,6 +128,9 @@ func main() {
 		fatal(err)
 	}
 	cpu.Bus.FlashWaitStates = *ws
+	if *layers {
+		cpu.EnableTimer()
+	}
 
 	profiling := *prof || *traceN > 0 || *folded != "" || *profJSON != ""
 	var trace *armv6m.Trace
@@ -188,6 +204,22 @@ func main() {
 	fmt.Printf("\nsp  = 0x%08x  lr = 0x%08x  pc = 0x%08x\n",
 		cpu.R[armv6m.SP], cpu.R[armv6m.LR], cpu.R[armv6m.PC])
 
+	if *layers {
+		fmt.Println()
+		res := &device.Result{
+			Cycles:           cpu.Cycles,
+			Telemetry:        cpu.Bus.Timer.Events,
+			TelemetryDropped: cpu.Bus.Timer.Dropped,
+		}
+		rep, err := telemetry.BuildReport(image, res, *ws)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.WriteTable(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+
 	if profiling {
 		p := profile.New(trace, symbols)
 		if *prof {
@@ -236,6 +268,34 @@ func writeTo(path string, emit func(w io.Writer) error) {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "m0run: wrote %s\n", path)
+}
+
+// batchFlagConflicts lists the single-run observability flags that are
+// set but meaningless under -batch, where boards run in parallel
+// without per-board traces. m0run used to ignore them silently, which
+// read as "profiled the batch" when it had not; now they are a hard
+// error (tested in main_test.go).
+func batchFlagConflicts(prof bool, traceN uint64, folded, profJSON, in, dumpAddr string) []string {
+	var conflicts []string
+	if prof {
+		conflicts = append(conflicts, "-profile")
+	}
+	if traceN > 0 {
+		conflicts = append(conflicts, "-trace")
+	}
+	if folded != "" {
+		conflicts = append(conflicts, "-folded")
+	}
+	if profJSON != "" {
+		conflicts = append(conflicts, "-profile-json")
+	}
+	if in != "" {
+		conflicts = append(conflicts, "-in")
+	}
+	if dumpAddr != "" {
+		conflicts = append(conflicts, "-dump-addr")
+	}
+	return conflicts
 }
 
 // runBatch runs every record in path through the board farm and prints
@@ -287,6 +347,16 @@ func runBatch(image *modelimg.Image, path string, workers int, maxInstr uint64, 
 	if stats.Items > stats.Failed {
 		fmt.Printf("cycles: mean %d, min %d, max %d (mean %.3f ms @ 8 MHz)\n",
 			stats.MeanCycles, stats.MinCycles, stats.MaxCycles, stats.LatencyMS())
+	}
+	if image.Telemetry && stats.Items > stats.Failed {
+		layerStats, err := telemetry.Aggregate(image, results, ws)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		if err := telemetry.WriteStatsTable(os.Stdout, layerStats); err != nil {
+			fatal(err)
+		}
 	}
 	if batchErr != nil {
 		if budgetExhausted {

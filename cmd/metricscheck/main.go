@@ -1,14 +1,26 @@
-// Command metricscheck validates a metrics JSON file emitted by
-// `neuroc-bench -metrics`: it must parse, carry the neuroc-metrics/v1
-// schema, and every experiment record must contain the required keys
-// (name, kind, cycles, instructions, cpi, latency_ms, accuracy,
-// flash_bytes, ram_bytes). It is the fail-fast CI gate behind the
-// bench-smoke step in scripts/verify.sh.
+// Command metricscheck validates and compares metrics JSON files
+// emitted by `neuroc-bench -metrics` (neuroc-metrics/v1).
+//
+// Validate one file — it must parse, carry the schema, and every
+// experiment record must contain the required keys:
 //
 //	metricscheck bench_quick.json
+//
+// Compare a fresh run against a committed baseline — deterministic keys
+// (cycle counts, instructions, accuracy, footprints, per-layer cycles)
+// must match EXACTLY; host wall-clock keys (wall_ms, infers_per_sec,
+// speedup, host_mips, predecode_build_ms) are checked against a
+// relative band, or ignored when -tolerance is 0:
+//
+//	metricscheck -compare BENCH_BASELINE.json bench_quick.json
+//	metricscheck -compare -tolerance 0.5 old.json new.json
+//
+// Both are fail-fast CI gates behind the bench-smoke step in
+// scripts/verify.sh.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -16,18 +28,48 @@ import (
 )
 
 func main() {
-	if len(os.Args) != 2 {
+	compare := flag.Bool("compare", false, "compare two metrics files: baseline then candidate")
+	tolerance := flag.Float64("tolerance", 0, "relative band for wall-clock keys under -compare (0.5 = ±50%; 0 ignores them)")
+	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: metricscheck metrics.json")
+		fmt.Fprintln(os.Stderr, "       metricscheck -compare [-tolerance F] baseline.json candidate.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+
+	if *compare {
+		if len(args) != 2 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		baseline, candidate := mustValidate(args[0]), mustValidate(args[1])
+		if err := bench.CompareMetricsJSON(baseline, candidate, *tolerance); err != nil {
+			fmt.Fprintf(os.Stderr, "metricscheck: %s vs %s: %v\n", args[0], args[1], err)
+			os.Exit(1)
+		}
+		fmt.Printf("metricscheck: %s matches baseline %s\n", args[1], args[0])
+		return
+	}
+	if len(args) != 1 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	data, err := os.ReadFile(os.Args[1])
+	mustValidate(args[0])
+	fmt.Printf("metricscheck: %s ok\n", args[0])
+}
+
+// mustValidate loads and schema-checks one metrics file, exiting on any
+// problem, and returns its bytes for comparison.
+func mustValidate(path string) []byte {
+	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "metricscheck:", err)
 		os.Exit(1)
 	}
 	if err := bench.ValidateMetricsJSON(data); err != nil {
-		fmt.Fprintf(os.Stderr, "metricscheck: %s: %v\n", os.Args[1], err)
+		fmt.Fprintf(os.Stderr, "metricscheck: %s: %v\n", path, err)
 		os.Exit(1)
 	}
-	fmt.Printf("metricscheck: %s ok\n", os.Args[1])
+	return data
 }

@@ -9,6 +9,7 @@ import (
 	"github.com/neuro-c/neuroc/internal/farm"
 	"github.com/neuro-c/neuroc/internal/modelimg"
 	"github.com/neuro-c/neuroc/internal/quant"
+	"github.com/neuro-c/neuroc/internal/telemetry"
 	"github.com/neuro-c/neuroc/internal/tensor"
 )
 
@@ -17,6 +18,10 @@ type Deployment struct {
 	QModel *quant.Model
 	Img    *modelimg.Image
 	Dev    *device.Device
+
+	// Encoding is the adjacency encoding the image was built with, kept
+	// so derived builds (MeasureLayers' telemetry twin) match exactly.
+	Encoding Encoding
 
 	// Workers is the board-farm pool size used by batch evaluations
 	// (MeasureStats, DeviceAccuracy); <= 0 uses GOMAXPROCS. Any value
@@ -52,7 +57,7 @@ func (m *Model) Deploy(ds *Dataset, enc Encoding) (*Deployment, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Deployment{QModel: qm, Img: img, Dev: dev}, nil
+	return &Deployment{QModel: qm, Img: img, Dev: dev, Encoding: enc}, nil
 }
 
 // QuantizedSizeBytes estimates the flash footprint without building the
@@ -107,6 +112,35 @@ func (d *Deployment) MeasureStats(ds *Dataset, runs int) (ms float64, cycles, in
 	}
 	meanCycles := totalCycles / uint64(runs)
 	return device.CyclesToMS(meanCycles), meanCycles, totalInstrs / uint64(runs), nil
+}
+
+// MeasureLayers measures per-layer cycle attribution with the on-device
+// telemetry pipeline: it builds the deployment's telemetry twin (same
+// quantized model and encoding, plus layer markers), runs the inferences
+// across the board farm, and aggregates the decoded per-layer costs.
+// The costs are corrected for the fixed marker overhead, so each equals
+// — exactly, cycle for cycle — what that layer costs in the
+// uninstrumented deployment (see internal/telemetry).
+func (d *Deployment) MeasureLayers(ds *Dataset, runs int) ([]telemetry.LayerStats, error) {
+	if runs <= 0 {
+		runs = 10
+	}
+	img, err := modelimg.BuildOpts(d.QModel, modelimg.BuildOptions{
+		Encoding:  d.Encoding,
+		Telemetry: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("neuroc: building telemetry twin: %w", err)
+	}
+	inputs := make([][]int8, runs)
+	for i := range inputs {
+		inputs[i] = d.QModel.QuantizeInput(ds.TestX.Row(i % ds.TestX.Rows))
+	}
+	results, _, err := farm.Map(img, inputs, farm.Options{Workers: d.Workers})
+	if err != nil {
+		return nil, err
+	}
+	return telemetry.Aggregate(img, results, 0)
 }
 
 // Profile runs one profiled inference on test-split sample idx and
@@ -195,7 +229,7 @@ func (d *Deployment) DeployWithoutScale(enc Encoding) (*Deployment, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Deployment{QModel: qm, Img: img, Dev: dev}, nil
+	return &Deployment{QModel: qm, Img: img, Dev: dev, Encoding: enc}, nil
 }
 
 // SaveModel writes the quantized model in the portable NCQ1 binary
@@ -222,5 +256,5 @@ func LoadDeployment(r io.Reader, enc Encoding) (*Deployment, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Deployment{QModel: qm, Img: img, Dev: dev}, nil
+	return &Deployment{QModel: qm, Img: img, Dev: dev, Encoding: enc}, nil
 }

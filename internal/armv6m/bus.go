@@ -71,6 +71,11 @@ type Bus struct {
 	// Counters for memory-traffic reporting.
 	FlashReads, SRAMReads, SRAMWrites uint64
 
+	// Timer, when non-nil, maps the telemetry peripheral window at
+	// TimerBase (see timer.go). Nil leaves the window unmapped, so the
+	// peripheral costs nothing on buses that never enable it.
+	Timer *Timer
+
 	// sharedFlash marks a bus whose Flash slice aliases an array owned
 	// elsewhere (NewBusSharedFlash); LoadFlash refuses to write it.
 	sharedFlash bool
@@ -129,6 +134,13 @@ func (b *Bus) inSRAM(addr uint32, size int) bool {
 	return addr >= b.SRAMBase && s <= n && addr-b.SRAMBase <= n-s
 }
 
+// inTimer reports whether addr falls in the mapped telemetry window
+// (offset-based, so addresses near the top of the address space cannot
+// wrap into the region).
+func (b *Bus) inTimer(addr uint32) bool {
+	return b.Timer != nil && addr-TimerBase < TimerSize
+}
+
 // region resolves addr to the backing slice, or nil if unmapped. Flash
 // is additionally aliased at address 0, as the M0 maps boot memory there.
 func (b *Bus) region(addr uint32, size int, write bool) ([]byte, int, error) {
@@ -167,6 +179,9 @@ func (b *Bus) accessCycles(addr uint32) int {
 
 // Read8 loads one byte.
 func (b *Bus) Read8(addr uint32) (uint32, error) {
+	if b.inTimer(addr) {
+		return 0, &BusFault{Addr: addr, Size: 1, Why: "timer region is word-access only"}
+	}
 	mem, off, err := b.region(addr, 1, false)
 	if err != nil {
 		return 0, err
@@ -178,6 +193,9 @@ func (b *Bus) Read8(addr uint32) (uint32, error) {
 func (b *Bus) Read16(addr uint32) (uint32, error) {
 	if addr&1 != 0 {
 		return 0, &BusFault{Addr: addr, Size: 2, Why: "unaligned halfword read"}
+	}
+	if b.inTimer(addr) {
+		return 0, &BusFault{Addr: addr, Size: 2, Why: "timer region is word-access only"}
 	}
 	mem, off, err := b.region(addr, 2, false)
 	if err != nil {
@@ -191,6 +209,9 @@ func (b *Bus) Read32(addr uint32) (uint32, error) {
 	if addr&3 != 0 {
 		return 0, &BusFault{Addr: addr, Size: 4, Why: "unaligned word read"}
 	}
+	if b.inTimer(addr) {
+		return b.Timer.read(addr)
+	}
 	mem, off, err := b.region(addr, 4, false)
 	if err != nil {
 		return 0, err
@@ -200,6 +221,9 @@ func (b *Bus) Read32(addr uint32) (uint32, error) {
 
 // Write8 stores one byte.
 func (b *Bus) Write8(addr uint32, v uint32) error {
+	if b.inTimer(addr) {
+		return &BusFault{Addr: addr, Size: 1, Write: true, Why: "timer region is word-access only"}
+	}
 	mem, off, err := b.region(addr, 1, true)
 	if err != nil {
 		return err
@@ -212,6 +236,9 @@ func (b *Bus) Write8(addr uint32, v uint32) error {
 func (b *Bus) Write16(addr uint32, v uint32) error {
 	if addr&1 != 0 {
 		return &BusFault{Addr: addr, Size: 2, Write: true, Why: "unaligned halfword write"}
+	}
+	if b.inTimer(addr) {
+		return &BusFault{Addr: addr, Size: 2, Write: true, Why: "timer region is word-access only"}
 	}
 	mem, off, err := b.region(addr, 2, true)
 	if err != nil {
@@ -226,6 +253,9 @@ func (b *Bus) Write16(addr uint32, v uint32) error {
 func (b *Bus) Write32(addr uint32, v uint32) error {
 	if addr&3 != 0 {
 		return &BusFault{Addr: addr, Size: 4, Write: true, Why: "unaligned word write"}
+	}
+	if b.inTimer(addr) {
+		return b.Timer.write(addr, v)
 	}
 	mem, off, err := b.region(addr, 4, true)
 	if err != nil {

@@ -247,6 +247,9 @@ func (c *CPU) Step() error {
 		}
 		c.Cycles += uint64(cycles)
 		c.Instructions++
+		if t := c.Bus.Timer; t != nil && t.pending() {
+			t.commit(c.Cycles)
+		}
 		if c.SysTick.tick(int64(cycles)) {
 			c.pendingIRQ = true
 		}
@@ -268,6 +271,9 @@ func (c *CPU) Step() error {
 	}
 	c.Cycles += uint64(cycles)
 	c.Instructions++
+	if t := c.Bus.Timer; t != nil && t.pending() {
+		t.commit(c.Cycles)
+	}
 	if c.SysTick.tick(int64(cycles)) {
 		c.pendingIRQ = true
 	}
@@ -314,6 +320,9 @@ func (c *CPU) stepTraced() error {
 		}
 		c.Cycles += uint64(cycles)
 		c.Instructions++
+		if t := c.Bus.Timer; t != nil && t.pending() {
+			t.commit(c.Cycles)
+		}
 		c.Trace.record(c, instrAddr, uint32(e.op), c.Cycles-instrStart, flashBefore, sramRBefore, sramWBefore)
 		if c.SysTick.tick(int64(cycles)) {
 			c.pendingIRQ = true
@@ -336,6 +345,9 @@ func (c *CPU) stepTraced() error {
 	}
 	c.Cycles += uint64(cycles)
 	c.Instructions++
+	if t := c.Bus.Timer; t != nil && t.pending() {
+		t.commit(c.Cycles)
+	}
 	c.Trace.record(c, instrAddr, op, c.Cycles-instrStart, flashBefore, sramRBefore, sramWBefore)
 	if c.SysTick.tick(int64(cycles)) {
 		c.pendingIRQ = true

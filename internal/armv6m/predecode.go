@@ -227,6 +227,11 @@ func (c *CPU) runPredecoded(maxInstructions uint64) error {
 	base := t.base
 	bus := c.Bus
 	ws := uint64(bus.FlashWaitStates)
+	// The telemetry peripheral is reachable only through handler
+	// delegation (the inline memory fast paths cover SRAM and flash
+	// alone), so the hot loop never checks it; the delegate path commits
+	// pending mailbox events at retire.
+	tmr := bus.Timer
 	// Loop invariants: Configure hooks and LoadFlash are host-side calls
 	// that cannot run mid-Run, so the cycle-model knobs and the memory
 	// map are fixed for the whole loop.
@@ -548,14 +553,7 @@ func (c *CPU) runPredecoded(maxInstructions uint64) error {
 				pc = e.next
 				cycles = dataFlash
 			} else {
-				c.R[PC] = pc
-				c.N, c.Z, c.C, c.V = fN, fZ, fC, fV
-				cycles, err = e.fn(c, e)
-				pc = c.R[PC]
-				fN, fZ, fC, fV = c.N, c.Z, c.C, c.V
-				if err != nil {
-					goto fail
-				}
+				goto delegate
 			}
 		case kLdrImm:
 			addr := c.R[e.rn] + e.imm
@@ -572,14 +570,7 @@ func (c *CPU) runPredecoded(maxInstructions uint64) error {
 				pc = e.next
 				cycles = dataFlash
 			} else {
-				c.R[PC] = pc
-				c.N, c.Z, c.C, c.V = fN, fZ, fC, fV
-				cycles, err = e.fn(c, e)
-				pc = c.R[PC]
-				fN, fZ, fC, fV = c.N, c.Z, c.C, c.V
-				if err != nil {
-					goto fail
-				}
+				goto delegate
 			}
 		case kStrImm:
 			addr := c.R[e.rn] + e.imm
@@ -590,14 +581,7 @@ func (c *CPU) runPredecoded(maxInstructions uint64) error {
 				pc = e.next
 				cycles = 2
 			} else {
-				c.R[PC] = pc
-				c.N, c.Z, c.C, c.V = fN, fZ, fC, fV
-				cycles, err = e.fn(c, e)
-				pc = c.R[PC]
-				fN, fZ, fC, fV = c.N, c.Z, c.C, c.V
-				if err != nil {
-					goto fail
-				}
+				goto delegate
 			}
 		case kLdrbImm:
 			addr := c.R[e.rn] + e.imm
@@ -612,14 +596,7 @@ func (c *CPU) runPredecoded(maxInstructions uint64) error {
 				pc = e.next
 				cycles = dataFlash
 			} else {
-				c.R[PC] = pc
-				c.N, c.Z, c.C, c.V = fN, fZ, fC, fV
-				cycles, err = e.fn(c, e)
-				pc = c.R[PC]
-				fN, fZ, fC, fV = c.N, c.Z, c.C, c.V
-				if err != nil {
-					goto fail
-				}
+				goto delegate
 			}
 		case kStrbImm:
 			addr := c.R[e.rn] + e.imm
@@ -629,14 +606,7 @@ func (c *CPU) runPredecoded(maxInstructions uint64) error {
 				pc = e.next
 				cycles = 2
 			} else {
-				c.R[PC] = pc
-				c.N, c.Z, c.C, c.V = fN, fZ, fC, fV
-				cycles, err = e.fn(c, e)
-				pc = c.R[PC]
-				fN, fZ, fC, fV = c.N, c.Z, c.C, c.V
-				if err != nil {
-					goto fail
-				}
+				goto delegate
 			}
 		case kLdrhImm:
 			addr := c.R[e.rn] + e.imm
@@ -651,14 +621,7 @@ func (c *CPU) runPredecoded(maxInstructions uint64) error {
 				pc = e.next
 				cycles = dataFlash
 			} else {
-				c.R[PC] = pc
-				c.N, c.Z, c.C, c.V = fN, fZ, fC, fV
-				cycles, err = e.fn(c, e)
-				pc = c.R[PC]
-				fN, fZ, fC, fV = c.N, c.Z, c.C, c.V
-				if err != nil {
-					goto fail
-				}
+				goto delegate
 			}
 		case kStrhImm:
 			addr := c.R[e.rn] + e.imm
@@ -669,14 +632,7 @@ func (c *CPU) runPredecoded(maxInstructions uint64) error {
 				pc = e.next
 				cycles = 2
 			} else {
-				c.R[PC] = pc
-				c.N, c.Z, c.C, c.V = fN, fZ, fC, fV
-				cycles, err = e.fn(c, e)
-				pc = c.R[PC]
-				fN, fZ, fC, fV = c.N, c.Z, c.C, c.V
-				if err != nil {
-					goto fail
-				}
+				goto delegate
 			}
 		case kLdrReg:
 			addr := c.R[e.rn] + c.R[e.rm]
@@ -693,14 +649,7 @@ func (c *CPU) runPredecoded(maxInstructions uint64) error {
 				pc = e.next
 				cycles = dataFlash
 			} else {
-				c.R[PC] = pc
-				c.N, c.Z, c.C, c.V = fN, fZ, fC, fV
-				cycles, err = e.fn(c, e)
-				pc = c.R[PC]
-				fN, fZ, fC, fV = c.N, c.Z, c.C, c.V
-				if err != nil {
-					goto fail
-				}
+				goto delegate
 			}
 		case kStrReg:
 			addr := c.R[e.rn] + c.R[e.rm]
@@ -711,14 +660,7 @@ func (c *CPU) runPredecoded(maxInstructions uint64) error {
 				pc = e.next
 				cycles = 2
 			} else {
-				c.R[PC] = pc
-				c.N, c.Z, c.C, c.V = fN, fZ, fC, fV
-				cycles, err = e.fn(c, e)
-				pc = c.R[PC]
-				fN, fZ, fC, fV = c.N, c.Z, c.C, c.V
-				if err != nil {
-					goto fail
-				}
+				goto delegate
 			}
 		case kLdrbReg:
 			addr := c.R[e.rn] + c.R[e.rm]
@@ -733,14 +675,7 @@ func (c *CPU) runPredecoded(maxInstructions uint64) error {
 				pc = e.next
 				cycles = dataFlash
 			} else {
-				c.R[PC] = pc
-				c.N, c.Z, c.C, c.V = fN, fZ, fC, fV
-				cycles, err = e.fn(c, e)
-				pc = c.R[PC]
-				fN, fZ, fC, fV = c.N, c.Z, c.C, c.V
-				if err != nil {
-					goto fail
-				}
+				goto delegate
 			}
 		case kStrbReg:
 			addr := c.R[e.rn] + c.R[e.rm]
@@ -750,14 +685,7 @@ func (c *CPU) runPredecoded(maxInstructions uint64) error {
 				pc = e.next
 				cycles = 2
 			} else {
-				c.R[PC] = pc
-				c.N, c.Z, c.C, c.V = fN, fZ, fC, fV
-				cycles, err = e.fn(c, e)
-				pc = c.R[PC]
-				fN, fZ, fC, fV = c.N, c.Z, c.C, c.V
-				if err != nil {
-					goto fail
-				}
+				goto delegate
 			}
 		case kLdrsbReg:
 			addr := c.R[e.rn] + c.R[e.rm]
@@ -772,32 +700,49 @@ func (c *CPU) runPredecoded(maxInstructions uint64) error {
 				pc = e.next
 				cycles = dataFlash
 			} else {
-				c.R[PC] = pc
-				c.N, c.Z, c.C, c.V = fN, fZ, fC, fV
-				cycles, err = e.fn(c, e)
-				pc = c.R[PC]
-				fN, fZ, fC, fV = c.N, c.Z, c.C, c.V
-				if err != nil {
-					goto fail
-				}
+				goto delegate
 			}
 		default:
-			c.R[PC] = pc
-			c.N, c.Z, c.C, c.V = fN, fZ, fC, fV
-			cycles, err = e.fn(c, e)
-			pc = c.R[PC]
-			fN, fZ, fC, fV = c.N, c.Z, c.C, c.V
-			if err != nil {
-				goto fail
-			}
-			if c.Halted { // BKPT: retire it, then stop
-				cyc += ws + uint64(cycles)
-				instr++
-				goto done
-			}
+			goto delegate
 		}
 		cyc += ws + uint64(cycles)
 		instr++
+		continue
+
+	delegate:
+		// Handler delegation. The accumulated cycles plus this fetch's
+		// wait states flush to the architectural counter *before* the
+		// handler runs, exactly as Step charges them before exec: a
+		// handler that observes c.Cycles (the telemetry peripheral's CNT
+		// register reads through it) sees the same value on every
+		// execution path. The handler's own cycles are charged at retire,
+		// and any mailbox store it enqueued commits against the exact
+		// retire-time count.
+		c.R[PC] = pc
+		c.N, c.Z, c.C, c.V = fN, fZ, fC, fV
+		c.Cycles += cyc + ws
+		cyc = 0
+		cycles, err = e.fn(c, e)
+		pc = c.R[PC]
+		fN, fZ, fC, fV = c.N, c.Z, c.C, c.V
+		if err != nil {
+			// The failing instruction's fetch was performed and its wait
+			// states pre-charged above. The handler left the architectural
+			// PC and flags at the fault point.
+			c.Instructions += instr
+			bus.FlashReads += instr + dreads + 1
+			bus.SRAMReads += sreads
+			bus.SRAMWrites += swrites
+			return fmt.Errorf("at 0x%08x (op 0x%04x): %w", instrAddr, e.op, err)
+		}
+		c.Cycles += uint64(cycles)
+		instr++
+		if tmr != nil && tmr.pending() {
+			tmr.commit(c.Cycles)
+		}
+		if c.Halted { // BKPT: retired above, stop
+			goto done
+		}
 	}
 done:
 	c.R[PC] = pc
@@ -814,17 +759,6 @@ done:
 		return nil
 	}
 	return &BudgetError{Instructions: maxInstructions, PC: c.R[PC]}
-
-fail:
-	// The failing instruction's fetch was performed and its wait states
-	// charged before exec on the interpreted path. The handler left the
-	// architectural PC and flags at the fault point.
-	c.Cycles += cyc + ws
-	c.Instructions += instr
-	bus.FlashReads += instr + dreads + 1
-	bus.SRAMReads += sreads
-	bus.SRAMWrites += swrites
-	return fmt.Errorf("at 0x%08x (op 0x%04x): %w", instrAddr, e.op, err)
 }
 
 // runPredecodedIRQ is runPredecoded with the interrupt machinery live:
@@ -835,7 +769,7 @@ func (c *CPU) runPredecodedIRQ(maxInstructions uint64, t *PredecodeTable) error 
 	base := t.base
 	bus := c.Bus
 	ws := uint64(bus.FlashWaitStates)
-	var cyc, instr, freads uint64
+	var instr, freads uint64
 	for n := uint64(0); n < maxInstructions; n++ {
 		if c.Halted {
 			break
@@ -844,7 +778,6 @@ func (c *CPU) runPredecodedIRQ(maxInstructions uint64, t *PredecodeTable) error 
 			c.pendingIRQ = false
 			c.SysTick.Fires++
 			if err := c.takeException(SysTickVector); err != nil {
-				c.Cycles += cyc
 				c.Instructions += instr
 				bus.FlashReads += freads
 				return err
@@ -854,10 +787,9 @@ func (c *CPU) runPredecodedIRQ(maxInstructions uint64, t *PredecodeTable) error 
 		off := instrAddr - base
 		idx := int(off >> 1)
 		if off&1 != 0 || idx >= len(entries) || entries[idx].fn == nil {
-			c.Cycles += cyc
 			c.Instructions += instr
 			bus.FlashReads += freads
-			cyc, instr, freads = 0, 0, 0
+			instr, freads = 0, 0
 			err := c.Step()
 			if err == nil {
 				continue
@@ -868,21 +800,27 @@ func (c *CPU) runPredecodedIRQ(maxInstructions uint64, t *PredecodeTable) error 
 			return err
 		}
 		e := &entries[idx]
+		// The fetch wait states are charged before the handler runs,
+		// mirroring Step, so a handler that observes c.Cycles (the
+		// telemetry CNT register) sees the same value on every path;
+		// mailbox events commit against the exact retire-time count.
+		c.Cycles += ws
 		cycles, err := e.fn(c, e)
 		if err != nil {
-			c.Cycles += cyc + ws
 			c.Instructions += instr
 			bus.FlashReads += freads + 1
 			return fmt.Errorf("at 0x%08x (op 0x%04x): %w", instrAddr, e.op, err)
 		}
-		cyc += ws + uint64(cycles)
+		c.Cycles += uint64(cycles)
 		instr++
 		freads++
+		if tmr := bus.Timer; tmr != nil && tmr.pending() {
+			tmr.commit(c.Cycles)
+		}
 		if c.SysTick.tick(int64(cycles)) {
 			c.pendingIRQ = true
 		}
 	}
-	c.Cycles += cyc
 	c.Instructions += instr
 	bus.FlashReads += freads
 	if maxInstructions > 0 && c.Halted {

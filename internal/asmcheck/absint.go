@@ -28,6 +28,7 @@ const (
 	regionNone regionID = iota
 	regionFlash
 	regionSRAM
+	regionPeriph
 )
 
 func (r regionID) String() string {
@@ -36,6 +37,8 @@ func (r regionID) String() string {
 		return "flash"
 	case regionSRAM:
 		return "sram"
+	case regionPeriph:
+		return "periph"
 	default:
 		return "unmapped"
 	}
@@ -308,6 +311,9 @@ func (ck *checker) checkMem(f *fn, ci *ctxInfo, in *instr, addr absval, width in
 		}
 		if addr.c%uint32(width) != 0 {
 			ck.violate(CodeMemUnaligned, f, in.Addr, "%d-byte %s at misaligned address 0x%08x", width, verb, addr.c)
+		}
+		if r == regionPeriph && width != 4 {
+			ck.violate(CodeMemUnaligned, f, in.Addr, "%d-byte %s in the word-only peripheral window at 0x%08x", width, verb, addr.c)
 		}
 		if store && r == regionFlash {
 			ck.violate(CodeMemWriteFlash, f, in.Addr, "store to flash address 0x%08x", addr.c)

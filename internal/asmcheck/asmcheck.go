@@ -76,6 +76,12 @@ type Config struct {
 	FlashBase, FlashSize uint32
 	SRAMBase, SRAMSize   uint32
 
+	// PeriphBase/PeriphSize map a memory-mapped peripheral window (the
+	// telemetry timer at armv6m.TimerBase) as a proven-safe word-access
+	// target, so instrumented images pass the strict store check.
+	// PeriphSize 0 — the default — leaves the window unmapped.
+	PeriphBase, PeriphSize uint32
+
 	// StackBudget is the byte budget for worst-case stack depth
 	// (including the 32-byte hardware exception frame plus the deepest
 	// ISR chain when ISRRoots are present). 0 disables the check.
@@ -272,6 +278,9 @@ func (ck *checker) region(addr uint32) regionID {
 	}
 	if addr >= c.SRAMBase && addr < c.SRAMBase+c.SRAMSize {
 		return regionSRAM
+	}
+	if c.PeriphSize > 0 && addr >= c.PeriphBase && addr-c.PeriphBase < c.PeriphSize {
+		return regionPeriph
 	}
 	return regionNone
 }

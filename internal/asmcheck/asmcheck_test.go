@@ -424,6 +424,39 @@ d1:
 	}
 }
 
+// TestPeriphWindow: the telemetry peripheral window verifies word
+// stores once mapped, and rejects sub-word accesses into it.
+func TestPeriphWindow(t *testing.T) {
+	periph := func(cfg *Config) {
+		cfg.PeriphBase, cfg.PeriphSize = armv6m.TimerBase, armv6m.TimerSize
+	}
+	word := `entry:
+	ldr r1, =0x40000040
+	movs r0, #3
+	str r0, [r1]
+	bkpt #0
+	.pool
+`
+	if rep := check(t, word, periph); !rep.OK() {
+		t.Errorf("word store into mapped periph window rejected: %v", codes(rep))
+	}
+	if rep := check(t, word, nil); rep.OK() {
+		t.Error("store into unmapped periph window accepted in strict mode")
+	}
+	sub := `entry:
+	ldr r1, =0x40000040
+	movs r0, #3
+	strb r0, [r1]
+	bkpt #0
+	.pool
+`
+	rep := check(t, sub, periph)
+	got := codes(rep)
+	if len(got) != 1 || got[0] != CodeMemUnaligned {
+		t.Errorf("byte store into periph window: violations = %v, want [MEM_UNALIGNED]", got)
+	}
+}
+
 // TestReportJSON: the report serializes for tooling.
 func TestReportJSON(t *testing.T) {
 	rep := check(t, "entry:\n\tbx lr\n", nil)

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func metricsDoc(t *testing.T, mutate func(*MetricsFile)) []byte {
+	t.Helper()
+	f := &MetricsFile{
+		Schema: MetricsSchema, Quick: true, Seed: 1,
+		Experiments: []Metric{
+			{
+				Name: "neuroc-digits-small", Kind: "model", Encoding: "block",
+				Cycles: 14305, Instructions: 13368, CPI: 1.07, LatencyMS: 1.788,
+				Accuracy: 0.91, AccuracyFloat: 0.93, FlashBytes: 1940, RAMBytes: 1200,
+				Params: 800, Deployable: true,
+				Layers: []LayerMetric{
+					{Index: 0, Kernel: "k_block_c1", Cycles: 11911, LatencyMS: 1.489, Share: 0.83},
+					{Index: 1, Kernel: "k_block_c1", Cycles: 2393, LatencyMS: 0.299, Share: 0.17},
+				},
+			},
+			{
+				Name: "farm-digits", Kind: "farm", Cycles: 14305, Instructions: 13368,
+				CPI: 1.07, LatencyMS: 1.788, Deployable: true,
+				Workers: 4, WallMS: 120, InfersPerSec: 800, Speedup: 3.4,
+				HostMIPS: 150, PredecodeBuildMS: 0.5,
+			},
+		},
+	}
+	if mutate != nil {
+		mutate(f)
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestCompareMetricsIdentical(t *testing.T) {
+	base := metricsDoc(t, nil)
+	if err := CompareMetricsJSON(base, metricsDoc(t, nil), 0); err != nil {
+		t.Errorf("identical documents differ: %v", err)
+	}
+}
+
+func TestCompareMetricsCatchesCycleDrift(t *testing.T) {
+	base := metricsDoc(t, nil)
+	drifted := metricsDoc(t, func(f *MetricsFile) { f.Experiments[0].Cycles++ })
+	err := CompareMetricsJSON(base, drifted, 0)
+	if err == nil || !strings.Contains(err.Error(), "cycles") {
+		t.Errorf("one-cycle drift not caught: %v", err)
+	}
+}
+
+func TestCompareMetricsCatchesLayerDrift(t *testing.T) {
+	base := metricsDoc(t, nil)
+	drifted := metricsDoc(t, func(f *MetricsFile) { f.Experiments[0].Layers[1].Cycles-- })
+	err := CompareMetricsJSON(base, drifted, 0)
+	if err == nil || !strings.Contains(err.Error(), "layers[1]") {
+		t.Errorf("per-layer drift not caught: %v", err)
+	}
+}
+
+func TestCompareMetricsWallClockBand(t *testing.T) {
+	base := metricsDoc(t, nil)
+	slower := metricsDoc(t, func(f *MetricsFile) {
+		f.Experiments[1].WallMS = 170 // ~+42%
+		f.Experiments[1].HostMIPS = 110
+	})
+	// Ignored entirely without a tolerance.
+	if err := CompareMetricsJSON(base, slower, 0); err != nil {
+		t.Errorf("wall-clock drift flagged with tolerance 0: %v", err)
+	}
+	// Inside a ±50% band.
+	if err := CompareMetricsJSON(base, slower, 0.5); err != nil {
+		t.Errorf("42%% wall-clock drift outside a 50%% band: %v", err)
+	}
+	// Outside a ±10% band.
+	err := CompareMetricsJSON(base, slower, 0.1)
+	if err == nil || !strings.Contains(err.Error(), "wall_ms") {
+		t.Errorf("42%% wall-clock drift inside a 10%% band: %v", err)
+	}
+}
+
+func TestCompareMetricsMissingAndExtra(t *testing.T) {
+	base := metricsDoc(t, nil)
+	missing := metricsDoc(t, func(f *MetricsFile) { f.Experiments = f.Experiments[:1] })
+	if err := CompareMetricsJSON(base, missing, 0); err == nil || !strings.Contains(err.Error(), "missing from candidate") {
+		t.Errorf("dropped experiment not caught: %v", err)
+	}
+	extra := metricsDoc(t, func(f *MetricsFile) {
+		f.Experiments = append(f.Experiments, Metric{Name: "new-exp", Kind: "micro"})
+	})
+	if err := CompareMetricsJSON(base, extra, 0); err == nil || !strings.Contains(err.Error(), "not in baseline") {
+		t.Errorf("new experiment not caught: %v", err)
+	}
+	quick := metricsDoc(t, func(f *MetricsFile) { f.Quick = false })
+	if err := CompareMetricsJSON(base, quick, 0); err == nil || !strings.Contains(err.Error(), "quick") {
+		t.Errorf("mode mismatch not caught: %v", err)
+	}
+}
+
+func TestValidateLayersKey(t *testing.T) {
+	good := metricsDoc(t, nil)
+	if err := ValidateMetricsJSON(good); err != nil {
+		t.Errorf("valid document rejected: %v", err)
+	}
+	bad := metricsDoc(t, func(f *MetricsFile) { f.Experiments[0].Layers[1].Index = 5 })
+	if err := ValidateMetricsJSON(bad); err == nil {
+		t.Error("out-of-order layer index accepted")
+	}
+	empty := metricsDoc(t, func(f *MetricsFile) { f.Experiments[0].Layers[0].Kernel = "" })
+	if err := ValidateMetricsJSON(empty); err == nil {
+		t.Error("layer without kernel accepted")
+	}
+}

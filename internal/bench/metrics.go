@@ -60,6 +60,22 @@ type Metric struct {
 	// shared execution table. Optional — only farm records carry them.
 	HostMIPS         float64 `json:"host_mips,omitempty"`
 	PredecodeBuildMS float64 `json:"predecode_build_ms,omitempty"`
+
+	// Layers is the per-layer cycle attribution measured on-device by
+	// the telemetry marker pipeline (internal/telemetry), corrected for
+	// the marker overhead so entries match the uninstrumented image
+	// exactly. Only deployable model records carry it.
+	Layers []LayerMetric `json:"layers,omitempty"`
+}
+
+// LayerMetric is one layer's row in a model record's per-layer
+// attribution.
+type LayerMetric struct {
+	Index     int     `json:"index"`
+	Kernel    string  `json:"kernel"`
+	Cycles    uint64  `json:"cycles"`
+	LatencyMS float64 `json:"latency_ms"`
+	Share     float64 `json:"share"` // fraction of the record's total cycles
 }
 
 // MetricsFile is the top-level metrics document.
@@ -136,6 +152,22 @@ func ValidateMetricsJSON(data []byte) error {
 			var v float64
 			if err := json.Unmarshal(raw, &v); err != nil {
 				return fmt.Errorf("metrics: experiment %d key %q is not a number: %s", i, k, raw)
+			}
+		}
+		// Per-layer attribution, when present, must be well-formed: call
+		// order indices and a positive cycle count per layer.
+		if raw, ok := e["layers"]; ok {
+			var layers []LayerMetric
+			if err := json.Unmarshal(raw, &layers); err != nil {
+				return fmt.Errorf("metrics: experiment %d key \"layers\": %w", i, err)
+			}
+			for j, l := range layers {
+				if l.Index != j {
+					return fmt.Errorf("metrics: experiment %d layer %d has index %d", i, j, l.Index)
+				}
+				if l.Kernel == "" || l.Cycles == 0 {
+					return fmt.Errorf("metrics: experiment %d layer %d missing kernel or cycles", i, j)
+				}
 			}
 		}
 	}

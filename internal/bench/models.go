@@ -2,9 +2,11 @@ package bench
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/neuro-c/neuroc"
 	"github.com/neuro-c/neuroc/internal/dataset"
+	"github.com/neuro-c/neuroc/internal/device"
 )
 
 // candidate is one model configuration in a sweep.
@@ -84,6 +86,24 @@ func (r *Runner) runCandidate(ds *dataset.Dataset, c candidate) *outcome {
 	if err != nil {
 		panic(fmt.Sprintf("bench: on-device accuracy for %s: %v", c.name, err))
 	}
+	// Per-layer cycle attribution via the on-device telemetry markers;
+	// the decoded costs are marker-corrected, so they slot under the
+	// uninstrumented cycle total recorded above.
+	layerStats, err := dep.MeasureLayers(ds, 3)
+	if err != nil {
+		panic(fmt.Sprintf("bench: layer telemetry for %s: %v", c.name, err))
+	}
+	layers := make([]LayerMetric, len(layerStats))
+	for i, s := range layerStats {
+		mean := uint64(math.Round(s.Mean))
+		layers[i] = LayerMetric{
+			Index: s.Index, Kernel: s.Kernel, Cycles: mean,
+			LatencyMS: device.CyclesToMS(mean),
+		}
+		if cycles > 0 {
+			layers[i].Share = float64(mean) / float64(cycles)
+		}
+	}
 	r.record(Metric{
 		Name: c.name, Kind: "model", Encoding: neuroc.EncodingBlock.String(),
 		Cycles: cycles, Instructions: instrs, LatencyMS: ms,
@@ -91,6 +111,7 @@ func (r *Runner) runCandidate(ds *dataset.Dataset, c candidate) *outcome {
 		AccuracyDevice: o.deviceAcc, DeviceAccuracyN: o.deviceN,
 		FlashBytes: o.bytes, RAMBytes: dep.Img.RAMBytes,
 		Params: o.params, Deployable: true,
+		Layers: layers,
 	})
 	r.logf("%s: acc %.4f (q %.4f, device %.4f/n=%d) params %d lat %.2fms mem %dB",
 		c.name, o.floatAcc, o.quantAcc, o.deviceAcc, o.deviceN, o.params, o.latencyMS, o.bytes)

@@ -37,6 +37,18 @@ type Result struct {
 	// SP (exception stacking included). Only measured when a trace was
 	// attached (RunProfiled); zero otherwise.
 	StackPeakBytes uint32
+
+	// Telemetry is the on-device event stream captured by the emulated
+	// timer peripheral during this inference — the layer markers a
+	// telemetry image stores into the mailbox, each stamped with the
+	// exact retire-time cycle count. Nil unless the image was built with
+	// modelimg.BuildOptions.Telemetry. Decode with internal/telemetry.
+	Telemetry []armv6m.TimerEvent
+
+	// TelemetryDropped counts mailbox events lost to the capture cap
+	// (armv6m.DefaultTimerMaxEvents); nonzero means Telemetry is
+	// incomplete and per-layer attribution must not be trusted.
+	TelemetryDropped uint64
 }
 
 // LatencyMS converts cycles to milliseconds at the device clock. A
@@ -83,7 +95,19 @@ func New(img *modelimg.Image) (*Device, error) {
 		return nil, fmt.Errorf("device: %w", err)
 	}
 	cpu.PredecodeNow()
-	return &Device{CPU: cpu, Img: img}, nil
+	d := &Device{CPU: cpu, Img: img}
+	d.attachTimer()
+	return d, nil
+}
+
+// attachTimer maps the telemetry peripheral when the image stores layer
+// markers. Without it the peripheral window stays unmapped and marker
+// stores would fault — a plain image never references the window, so
+// non-telemetry boards are left untouched.
+func (d *Device) attachTimer() {
+	if d.Img.Telemetry {
+		d.CPU.EnableTimer()
+	}
 }
 
 // SharedFlash returns a full-size flash array populated with img,
@@ -108,7 +132,9 @@ func SharedFlash(img *modelimg.Image) ([]byte, error) {
 // the image privately on its first Step; use FlashImage to share one
 // table across boards as well.
 func NewOnFlash(img *modelimg.Image, flash []byte) *Device {
-	return &Device{CPU: armv6m.NewSharedFlash(flash), Img: img}
+	d := &Device{CPU: armv6m.NewSharedFlash(flash), Img: img}
+	d.attachTimer()
+	return d
 }
 
 // FlashImage is a program image prepared for mass deployment: the
@@ -161,6 +187,13 @@ func (d *Device) RunProfiled(input []int8) (*Result, error) {
 	return d.run(input, armv6m.NewTrace())
 }
 
+// RunTraced is RunProfiled with a caller-supplied trace, for callers
+// that need hooks (Trace.OnInstr) attached before execution starts —
+// the host-side layer segmenter in internal/telemetry is the main one.
+func (d *Device) RunTraced(input []int8, trace *armv6m.Trace) (*Result, error) {
+	return d.run(input, trace)
+}
+
 func (d *Device) run(input []int8, trace *armv6m.Trace) (*Result, error) {
 	if len(input) != d.Img.InDim {
 		return nil, fmt.Errorf("device: input length %d, want %d", len(input), d.Img.InDim)
@@ -173,6 +206,9 @@ func (d *Device) run(input []int8, trace *armv6m.Trace) (*Result, error) {
 	d.CPU.Instructions = 0
 	d.CPU.Trace = trace
 	defer func() { d.CPU.Trace = nil }()
+	if t := d.CPU.Bus.Timer; t != nil {
+		t.Reset()
+	}
 	// Write quantized input into the SRAM input buffer.
 	for i, v := range input {
 		if err := d.CPU.Bus.Write8(d.Img.InAddr+uint32(i), uint32(uint8(v))); err != nil {
@@ -197,6 +233,12 @@ func (d *Device) run(input []int8, trace *armv6m.Trace) (*Result, error) {
 	res := &Result{Output: out, Cycles: d.CPU.Cycles, Instructions: d.CPU.Instructions, Trace: trace}
 	if trace != nil {
 		res.StackPeakBytes = trace.StackPeak(initialSP)
+	}
+	if t := d.CPU.Bus.Timer; t != nil {
+		// Copy: the device reuses its timer (and Reset clears Events)
+		// across inferences, but results outlive both.
+		res.Telemetry = append([]armv6m.TimerEvent(nil), t.Events...)
+		res.TelemetryDropped = t.Dropped
 	}
 	return res, nil
 }

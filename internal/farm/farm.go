@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/neuro-c/neuroc/internal/armv6m"
 	"github.com/neuro-c/neuroc/internal/device"
 	"github.com/neuro-c/neuroc/internal/modelimg"
 )
@@ -49,6 +50,13 @@ type Result struct {
 	Output       []int8
 	Cycles       uint64
 	Instructions uint64
+	// Telemetry is the on-device layer-marker stream for this inference
+	// (telemetry images only, see device.Result.Telemetry). Each board
+	// owns a private timer peripheral, so capture stays race-free under
+	// any worker count.
+	Telemetry []armv6m.TimerEvent
+	// TelemetryDropped counts mailbox events lost to the capture cap.
+	TelemetryDropped uint64
 	// Err is the per-item failure (bus fault, budget exhaustion).
 	// Items with Err != nil have no Output.
 	Err error
@@ -151,9 +159,11 @@ func Map(img *modelimg.Image, inputs [][]int8, opts Options) ([]Result, *Stats, 
 					continue
 				}
 				results[i] = Result{
-					Output:       res.Output,
-					Cycles:       res.Cycles,
-					Instructions: res.Instructions,
+					Output:           res.Output,
+					Cycles:           res.Cycles,
+					Instructions:     res.Instructions,
+					Telemetry:        res.Telemetry,
+					TelemetryDropped: res.TelemetryDropped,
 				}
 			}
 		}()

@@ -26,6 +26,12 @@ type Variant struct {
 	Name    string // kernel entry symbol
 	Src     string // kernel source alone
 	Harness string // entry + kernel + descriptor + tables, assembles standalone
+
+	// TelemetryHarness is Harness with the kernel call bracketed by
+	// layer-0 enter/exit mailbox markers (see telemetry.go), used by the
+	// cross-interpreter attribution tests and the telemetry decoder's
+	// per-variant exactness checks.
+	TelemetryHarness string
 }
 
 // selfDesc is the 16-word descriptor as assembler expressions, all
@@ -72,7 +78,12 @@ func pad(n int) int { return (n + 3) &^ 3 }
 func Variants() []Variant {
 	var vs []Variant
 	add := func(name, src string, desc [16]string, tables string) {
-		vs = append(vs, Variant{Name: name, Src: src, Harness: selfHarness(name, src, desc, tables)})
+		vs = append(vs, Variant{
+			Name:             name,
+			Src:              src,
+			Harness:          selfHarness(name, src, desc, tables),
+			TelemetryHarness: telemetryHarness(name, src, desc, tables),
+		})
 	}
 	table := func(label string, size int) string {
 		return fmt.Sprintf("%s:\n\t.space %d\n", label, pad(size))

@@ -53,3 +53,58 @@ func TestVariantsPassStrictAsmcheck(t *testing.T) {
 		})
 	}
 }
+
+// The instrumented harnesses must be just as provable: with the
+// telemetry peripheral window mapped, every marker store verifies under
+// the same strict config the uninstrumented harnesses pass.
+func TestTelemetryHarnessesPassStrictAsmcheck(t *testing.T) {
+	for _, v := range Variants() {
+		t.Run(v.Name, func(t *testing.T) {
+			p, err := thumb.Assemble(v.TelemetryHarness, armv6m.FlashBase)
+			if err != nil {
+				t.Fatalf("telemetry harness does not assemble: %v", err)
+			}
+			cfg := asmcheck.DefaultConfig()
+			cfg.Strict = true
+			cfg.StackBudget = 1024
+			cfg.PeriphBase, cfg.PeriphSize = armv6m.TimerBase, armv6m.TimerSize
+			desc, err := p.Symbol("desc")
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.CodeLimit = desc
+			rep, err := asmcheck.Check(p, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, viol := range rep.Violations {
+				t.Errorf("%s", viol.String())
+			}
+		})
+	}
+}
+
+// Without the peripheral window configured, the strict checker must
+// reject the mailbox stores rather than silently trusting them.
+func TestTelemetryHarnessRejectedWithoutPeriphWindow(t *testing.T) {
+	v := Variants()[0]
+	p, err := thumb.Assemble(v.TelemetryHarness, armv6m.FlashBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := asmcheck.DefaultConfig()
+	cfg.Strict = true
+	cfg.StackBudget = 1024
+	desc, err := p.Symbol("desc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.CodeLimit = desc
+	rep, err := asmcheck.Check(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("expected a violation for a store outside every mapped region")
+	}
+}

@@ -1,0 +1,85 @@
+package kernels
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/neuro-c/neuroc/internal/armv6m"
+)
+
+// Layer-marker instrumentation: generated code can bracket each kernel
+// call with a pair of stores to the telemetry peripheral's event
+// mailbox (armv6m.TimerMBOX). The marker word encodes the layer index
+// and the boundary phase; the peripheral timestamps each store with the
+// exact retire-time cycle count, which the host-side decoder
+// (internal/telemetry) turns into per-layer cycle attribution.
+//
+// The emitted sequence is fixed so its cost is a closed-form constant:
+//
+//	prologue (once):   ldr rN, =TimerMBOX     ; 2+ws cycles
+//	per marker:        movs r0, #marker       ; 1+ws
+//	                   str  r0, [rN]          ; 2+ws (no peripheral
+//	                                          ;  wait states)
+//
+// A marker therefore costs exactly 3+2*ws cycles, and instrumenting an
+// n-layer image adds (2+2*ws) + n*2*(3+2*ws) cycles total (see
+// internal/telemetry for the subtraction that recovers uninstrumented
+// layer costs exactly). The movs imm8 form bounds the marker word to
+// 255, hence MaxMarkerLayers.
+
+// MaxMarkerLayers is the largest layer count the marker encoding
+// supports: markers are loaded with movs imm8, so 2*layer+1 <= 255.
+const MaxMarkerLayers = 128
+
+// MarkerEnter and MarkerExit return the mailbox word marking the start
+// and end of layer i's kernel call.
+func MarkerEnter(i int) int { return 2 * i }
+
+// MarkerExit is the matching layer-exit marker word.
+func MarkerExit(i int) int { return 2*i + 1 }
+
+// MarkerLayer decodes a marker word back to its layer index and
+// whether it is an exit marker.
+func MarkerLayer(m uint32) (layer int, exit bool) {
+	return int(m / 2), m&1 == 1
+}
+
+// MarkerStore emits the two-instruction marker sequence against the
+// mailbox pointer held in reg (r0 is clobbered, as at any call
+// boundary).
+func MarkerStore(reg string, marker int) string {
+	return fmt.Sprintf("\tmovs r0, #%d\n\tstr r0, [%s]\n", marker, reg)
+}
+
+// MailboxLoad emits the one-time prologue that parks the mailbox
+// address in reg (a callee-saved register, so kernel calls preserve
+// it).
+func MailboxLoad(reg string) string {
+	return fmt.Sprintf("\tldr %s, =0x%08x\n", reg, armv6m.TimerMBOX)
+}
+
+// telemetryHarness wraps a kernel exactly like selfHarness but brackets
+// the call with layer-0 enter/exit markers, mirroring what
+// modelimg.Build emits per layer when telemetry is on. The mailbox
+// pointer lives in r4: callee-saved, so the kernel's AAPCS contract
+// (proven by asmcheck) guarantees the exit marker stores through the
+// same address.
+func telemetryHarness(kname, ksrc string, desc [16]string, tables string) string {
+	var b strings.Builder
+	b.WriteString("entry:\n")
+	b.WriteString(MailboxLoad("r4"))
+	b.WriteString(MarkerStore("r4", MarkerEnter(0)))
+	b.WriteString("\tldr r0, =desc\n")
+	fmt.Fprintf(&b, "\tbl %s\n", kname)
+	b.WriteString(MarkerStore("r4", MarkerExit(0)))
+	b.WriteString("\tbkpt #0\n")
+	b.WriteString("\t.pool\n")
+	b.WriteString(ksrc)
+	b.WriteString("\t.align 4\n")
+	b.WriteString("desc:\n")
+	for _, w := range desc {
+		fmt.Fprintf(&b, "\t.word %s\n", w)
+	}
+	b.WriteString(tables)
+	return b.String()
+}

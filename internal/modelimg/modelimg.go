@@ -96,6 +96,16 @@ type Image struct {
 	// is gated on it passing, so a non-nil Image carries a violation-free
 	// report with the proven worst-case stack and cycle bounds.
 	Check *asmcheck.Report
+
+	// Layers lists the emitted layers in call order; each layer i also
+	// gets an "l<i>_call" label in the symbol table (and "entry_end"
+	// after the last), so host-side profiles can segment cycles by layer
+	// with or without on-device markers.
+	Layers []LayerInfo
+
+	// Telemetry records whether the image carries layer markers (see
+	// BuildOptions.Telemetry); device.New attaches a timer when set.
+	Telemetry bool
 }
 
 // TotalBytes is the program-memory footprint (flash bytes).
@@ -129,6 +139,22 @@ type BuildOptions struct {
 	// CPSID i / CPSIE i, the paper's "defer interrupts predictably"
 	// strategy: latency stays undisturbed, interrupts run afterwards.
 	MaskIRQDuringInference bool
+	// Telemetry brackets every layer call with enter/exit marker stores
+	// to the telemetry peripheral mailbox (armv6m.TimerMBOX), the
+	// paper's firmware-side TIM2 measurement. The board must attach a
+	// timer (device does this automatically for telemetry images). Off —
+	// the default — emits no instrumentation bytes, so the image and its
+	// cycle counts are bit-identical to an uninstrumented build.
+	Telemetry bool
+}
+
+// LayerInfo describes one emitted layer, in call order — the host-side
+// key for decoding per-layer telemetry back to kernels.
+type LayerInfo struct {
+	Index   int    `json:"index"`
+	Kernel  string `json:"kernel"` // accumulate kernel symbol
+	In      int    `json:"in"`
+	Out     int    `json:"out"`
 }
 
 // Build generates and assembles the flash image for model using enc for
@@ -181,6 +207,16 @@ func BuildOpts(model *quant.Model, opts BuildOptions) (*Image, error) {
 	if opts.MaskIRQDuringInference {
 		entry.WriteString("\tcpsid i\n")
 	}
+	if opts.Telemetry {
+		if n := len(model.Layers); n > kernels.MaxMarkerLayers {
+			return nil, fmt.Errorf("modelimg: telemetry markers support at most %d layers, model has %d",
+				kernels.MaxMarkerLayers, n)
+		}
+		// Mailbox pointer in r4: callee-saved, so every kernel call
+		// preserves it (asmcheck proves the AAPCS contract below).
+		entry.WriteString(kernels.MailboxLoad("r4"))
+	}
+	var layers []LayerInfo
 	inAddr := bufA
 	for i, l := range model.Layers {
 		outAddr := bufB
@@ -192,10 +228,21 @@ func BuildOpts(model *quant.Model, opts BuildOptions) (*Image, error) {
 		if err != nil {
 			return nil, err
 		}
+		// The l<i>_call label emits no bytes: uninstrumented images stay
+		// bit-identical while host profiles gain layer boundaries.
+		fmt.Fprintf(&entry, "l%d_call:\n", i)
+		if opts.Telemetry {
+			entry.WriteString(kernels.MarkerStore("r4", kernels.MarkerEnter(i)))
+		}
 		fmt.Fprintf(&entry, "\tldr r0, =%s\n\tbl %s\n", descLabel, kname)
 		fmt.Fprintf(&entry, "\tldr r0, =%s\n\tbl %s\n", descLabel, requantName)
+		if opts.Telemetry {
+			entry.WriteString(kernels.MarkerStore("r4", kernels.MarkerExit(i)))
+		}
+		layers = append(layers, LayerInfo{Index: i, Kernel: kname, In: l.In, Out: l.Out})
 		inAddr = outAddr
 	}
+	entry.WriteString("entry_end:\n")
 	if opts.MaskIRQDuringInference {
 		// Unmask and give a deferred interrupt a chance to run before
 		// the measurement stops.
@@ -258,6 +305,11 @@ data_start:
 	if isr != "" {
 		vcfg.ISRRoots = []string{"systick_handler"}
 	}
+	if opts.Telemetry {
+		// Marker stores target the telemetry mailbox; map the peripheral
+		// window so the checker can prove them safe.
+		vcfg.PeriphBase, vcfg.PeriphSize = armv6m.TimerBase, armv6m.TimerSize
+	}
 	report, err := asmcheck.Check(prog, vcfg)
 	if err != nil {
 		return nil, fmt.Errorf("modelimg: static check: %w", err)
@@ -282,6 +334,8 @@ data_start:
 		RAMBytes:  heapEnd - int(armv6m.SRAMBase) + StackReserve,
 		Asm:       asm,
 		Check:     report,
+		Layers:    layers,
+		Telemetry: opts.Telemetry,
 	}
 	// Output buffer of the final layer: ping-pong parity.
 	out := bufB

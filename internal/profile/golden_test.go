@@ -1,0 +1,131 @@
+package profile
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/neuro-c/neuroc/internal/armv6m"
+	"github.com/neuro-c/neuroc/internal/device"
+	"github.com/neuro-c/neuroc/internal/encoding"
+	"github.com/neuro-c/neuroc/internal/modelimg"
+	"github.com/neuro-c/neuroc/internal/quant"
+	"github.com/neuro-c/neuroc/internal/rng"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// goldenModel is a small three-layer ternary network. The emulator is
+// deterministic, so profiling one inference of it yields byte-stable
+// folded stacks and hotspot tables — any codegen or cycle-model change
+// shows up as a golden diff (regenerate with `go test -run Golden
+// ./internal/profile -update` and review the diff alongside the
+// change).
+func goldenModel() *quant.Model {
+	r := rng.New(42)
+	layer := func(in, out int, density float64) *quant.Layer {
+		a := encoding.NewMatrix(in, out)
+		for o := 0; o < out; o++ {
+			for i := 0; i < in; i++ {
+				if r.Bool(density) {
+					if r.Bool(0.5) {
+						a.Set(o, i, 1)
+					} else {
+						a.Set(o, i, -1)
+					}
+				}
+			}
+		}
+		l := &quant.Layer{
+			Kind: quant.Ternary, In: in, Out: out, A: a,
+			PerNeuron: true, ReLU: out > 8,
+			PreShift: 0, PostShift: 7,
+			Bias:  make([]int32, out),
+			Mults: make([]int32, out),
+		}
+		for o := range l.Mults {
+			l.Mults[o] = int32(r.Intn(200)) - 100 + 64
+			l.Bias[o] = int32(r.Intn(21)) - 10
+		}
+		return l
+	}
+	return &quant.Model{
+		InputScale: 127,
+		Layers: []*quant.Layer{
+			layer(24, 16, 0.3),
+			layer(16, 10, 0.35),
+			layer(10, 4, 0.5),
+		},
+	}
+}
+
+// goldenProfile runs one traced inference of the golden model and
+// symbolizes it.
+func goldenProfile(t *testing.T) *Profile {
+	t.Helper()
+	img, err := modelimg.Build(goldenModel(), modelimg.UseBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := device.New(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := armv6m.NewTrace()
+	in := make([]int8, goldenModel().Layers[0].In)
+	r := rng.New(5)
+	for i := range in {
+		in[i] = int8(r.Intn(255) - 127)
+	}
+	if _, err := dev.RunTraced(in, tr); err != nil {
+		t.Fatal(err)
+	}
+	return New(tr, img.Prog.Symbols)
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s\n"+
+			"If the codegen or cycle-model change is intentional, regenerate with "+
+			"`go test -run Golden ./internal/profile -update` and commit the diff.",
+			name, got, want)
+	}
+}
+
+// TestGoldenFolded pins the flamegraph-ready folded-stack output of a
+// real multi-layer inference byte for byte.
+func TestGoldenFolded(t *testing.T) {
+	p := goldenProfile(t)
+	var b bytes.Buffer
+	if err := p.WriteFolded(&b); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "model_folded.golden", b.Bytes())
+}
+
+// TestGoldenHotspots pins the rendered hotspot and kernel tables.
+func TestGoldenHotspots(t *testing.T) {
+	p := goldenProfile(t)
+	var b bytes.Buffer
+	p.HotTable(10).Fprint(&b)
+	b.WriteString("\n")
+	p.KernelTable(0).Fprint(&b)
+	checkGolden(t, "model_tables.golden", b.Bytes())
+}

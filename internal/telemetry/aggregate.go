@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"github.com/neuro-c/neuroc/internal/device"
+	"github.com/neuro-c/neuroc/internal/farm"
+	"github.com/neuro-c/neuroc/internal/modelimg"
+)
+
+// LayerStats aggregates one layer's corrected cycle cost across a batch
+// of inferences (a farm.Map run).
+type LayerStats struct {
+	Index  int     `json:"index"`
+	Kernel string  `json:"kernel"`
+	Count  int     `json:"count"`
+	Min    uint64  `json:"min_cycles"`
+	Max    uint64  `json:"max_cycles"`
+	Total  uint64  `json:"total_cycles"`
+	Mean   float64 `json:"mean_cycles"`
+}
+
+// Aggregate decodes every successful item of a farm run and folds the
+// per-layer costs into per-layer statistics. Failed items are skipped
+// (they carry no telemetry); any successful item with an undecodable or
+// truncated stream is an error — silently dropping it would bias the
+// stats.
+func Aggregate(img *modelimg.Image, results []farm.Result, ws int) ([]LayerStats, error) {
+	stats := make([]LayerStats, len(img.Layers))
+	for i, l := range img.Layers {
+		stats[i] = LayerStats{Index: i, Kernel: l.Kernel}
+	}
+	for i := range results {
+		if results[i].Err != nil {
+			continue
+		}
+		if results[i].TelemetryDropped > 0 {
+			return nil, fmt.Errorf("telemetry: item %d dropped %d events", i, results[i].TelemetryDropped)
+		}
+		spans, err := DecodeImage(img, results[i].Telemetry, ws)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: item %d: %w", i, err)
+		}
+		for j, s := range spans {
+			st := &stats[j]
+			st.Total += s.Cycles
+			if st.Count == 0 || s.Cycles < st.Min {
+				st.Min = s.Cycles
+			}
+			if s.Cycles > st.Max {
+				st.Max = s.Cycles
+			}
+			st.Count++
+		}
+	}
+	for i := range stats {
+		if stats[i].Count > 0 {
+			stats[i].Mean = float64(stats[i].Total) / float64(stats[i].Count)
+		}
+	}
+	return stats, nil
+}
+
+// WriteStatsTable renders aggregated per-layer statistics for
+// terminals (m0run -batch -layers).
+func WriteStatsTable(w io.Writer, stats []LayerStats) error {
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "LAYER\tKERNEL\tCOUNT\tMIN\tMEAN\tMAX\tMEAN_MS")
+	for _, s := range stats {
+		fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%.1f\t%d\t%.3f\n",
+			s.Index, s.Kernel, s.Count, s.Min, s.Mean, s.Max,
+			device.CyclesToMS(uint64(s.Mean)))
+	}
+	return tw.Flush()
+}

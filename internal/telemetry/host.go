@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"github.com/neuro-c/neuroc/internal/armv6m"
+	"github.com/neuro-c/neuroc/internal/device"
+	"github.com/neuro-c/neuroc/internal/modelimg"
+)
+
+// Host-side attribution: the independent measurement the on-device
+// markers are checked against. A HostSegmenter rides the emulator's
+// trace hook (armv6m.Trace.OnInstr) and records the running cycle total
+// at chosen instruction addresses; because entry code is straight-line,
+// the totals at the image's per-layer call labels segment an inference
+// into exact layer costs without any on-device instrumentation.
+//
+// The running total is the sum of per-instruction costs the trace
+// streams, which equals CPU.Cycles for exception-free runs; exception
+// entry cost is charged between instructions and would make boundary
+// totals diverge from mailbox timestamps, so segment masked or
+// interrupt-free inferences.
+
+// Mark is one watched instruction address and the cycle totals observed
+// at its first retirement.
+type Mark struct {
+	Addr   uint32
+	Before uint64 // cycles retired before the instruction at Addr began
+	After  uint64 // cycles after it fully retired (Before + its cost)
+	Hit    bool
+}
+
+// HostSegmenter records cycle totals at watched addresses. Attach to a
+// trace before running; each address is captured at its first
+// retirement only (entry code runs once, so that is the layer
+// boundary).
+type HostSegmenter struct {
+	Marks   []Mark
+	byAddr  map[uint32]int
+	running uint64
+}
+
+// NewHostSegmenter watches the given instruction addresses.
+func NewHostSegmenter(addrs []uint32) *HostSegmenter {
+	s := &HostSegmenter{byAddr: make(map[uint32]int, len(addrs))}
+	for _, a := range addrs {
+		s.byAddr[a] = len(s.Marks)
+		s.Marks = append(s.Marks, Mark{Addr: a})
+	}
+	return s
+}
+
+// Attach hooks the segmenter into tr. It claims the trace's OnInstr
+// slot.
+func (s *HostSegmenter) Attach(tr *armv6m.Trace) {
+	tr.OnInstr = func(ii armv6m.InstrInfo) {
+		if i, ok := s.byAddr[ii.Addr]; ok && !s.Marks[i].Hit {
+			s.Marks[i].Hit = true
+			s.Marks[i].Before = s.running
+			s.Marks[i].After = s.running + ii.Cycles
+		}
+		s.running += ii.Cycles
+	}
+}
+
+// LayerBoundaryAddrs returns the n+1 boundary addresses that segment an
+// image's entry sequence into layers: l<i>_call for each layer, then
+// entry_end. They exist in every image built since layer labels were
+// introduced, instrumented or not.
+func LayerBoundaryAddrs(img *modelimg.Image) ([]uint32, error) {
+	addrs := make([]uint32, 0, len(img.Layers)+1)
+	for i := 0; i <= len(img.Layers); i++ {
+		name := fmt.Sprintf("l%d_call", i)
+		if i == len(img.Layers) {
+			name = "entry_end"
+		}
+		a, ok := img.Prog.Symbols[name]
+		if !ok {
+			return nil, fmt.Errorf("telemetry: image has no %q symbol (built before layer labels?)", name)
+		}
+		addrs = append(addrs, a)
+	}
+	return addrs, nil
+}
+
+// HostLayerCycles runs one traced inference and attributes its cycles
+// to layers by the image's boundary labels. The returned slice has one
+// exact per-layer cycle cost per image layer; for a telemetry image
+// each entry includes the two markers the instrumented layer carries
+// (subtract 2*MarkerCost to compare against an uninstrumented build).
+func HostLayerCycles(d *device.Device, input []int8) ([]uint64, *device.Result, error) {
+	addrs, err := LayerBoundaryAddrs(d.Img)
+	if err != nil {
+		return nil, nil, err
+	}
+	seg := NewHostSegmenter(addrs)
+	tr := armv6m.NewTrace()
+	seg.Attach(tr)
+	res, err := d.RunTraced(input, tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	layers := make([]uint64, len(addrs)-1)
+	for i := range layers {
+		lo, hi := seg.Marks[i], seg.Marks[i+1]
+		if !lo.Hit || !hi.Hit {
+			return nil, nil, fmt.Errorf("telemetry: boundary l%d_call never retired", i)
+		}
+		layers[i] = hi.Before - lo.Before
+	}
+	return layers, res, nil
+}

@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"github.com/neuro-c/neuroc/internal/device"
+	"github.com/neuro-c/neuroc/internal/modelimg"
+)
+
+// Schema identifies the JSON record BuildReport emits.
+const Schema = "neuroc-telemetry/v1"
+
+// LayerRecord is one layer's row in a Report.
+type LayerRecord struct {
+	Index       int     `json:"index"`
+	Kernel      string  `json:"kernel"`
+	EnterCycles uint64  `json:"enter_cycles"`
+	ExitCycles  uint64  `json:"exit_cycles"`
+	Cycles      uint64  `json:"cycles"` // corrected (instrumentation-free) cost
+	LatencyMS   float64 `json:"latency_ms"`
+	Share       float64 `json:"share"` // fraction of total inference cycles
+}
+
+// Report is the decoded telemetry for one inference, the
+// neuroc-telemetry/v1 record.
+type Report struct {
+	Schema          string        `json:"schema"`
+	ClockHz         int           `json:"clock_hz"`
+	FlashWaitStates int           `json:"flash_wait_states"`
+	TotalCycles     uint64        `json:"total_cycles"`    // whole instrumented inference
+	LayerCycles     uint64        `json:"layer_cycles"`    // sum of corrected layer costs
+	OverheadCycles  uint64        `json:"overhead_cycles"` // Overhead(n, ws), exact
+	OtherCycles     uint64        `json:"other_cycles"`    // entry glue outside the layers
+	DroppedEvents   uint64        `json:"dropped_events,omitempty"`
+	Layers          []LayerRecord `json:"layers"`
+}
+
+// BuildReport decodes one inference result against its image. The
+// result must carry a complete telemetry capture; dropped events make
+// attribution unsound and are rejected.
+func BuildReport(img *modelimg.Image, res *device.Result, ws int) (*Report, error) {
+	if res.TelemetryDropped > 0 {
+		return nil, fmt.Errorf("telemetry: %d events dropped at the capture cap, attribution incomplete",
+			res.TelemetryDropped)
+	}
+	spans, err := DecodeImage(img, res.Telemetry, ws)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{
+		Schema:          Schema,
+		ClockHz:         device.ClockHz,
+		FlashWaitStates: ws,
+		TotalCycles:     res.Cycles,
+		OverheadCycles:  Overhead(len(spans), ws),
+	}
+	for _, s := range spans {
+		r.LayerCycles += s.Cycles
+		rec := LayerRecord{
+			Index:       s.Layer,
+			Kernel:      s.Kernel,
+			EnterCycles: s.Enter,
+			ExitCycles:  s.Exit,
+			Cycles:      s.Cycles,
+			LatencyMS:   device.CyclesToMS(s.Cycles),
+		}
+		if res.Cycles > 0 {
+			rec.Share = float64(s.Cycles) / float64(res.Cycles)
+		}
+		r.Layers = append(r.Layers, rec)
+	}
+	if accounted := r.LayerCycles + r.OverheadCycles; accounted > r.TotalCycles {
+		return nil, fmt.Errorf("telemetry: layers (%d) + overhead (%d) exceed total cycles (%d)",
+			r.LayerCycles, r.OverheadCycles, r.TotalCycles)
+	}
+	r.OtherCycles = r.TotalCycles - r.LayerCycles - r.OverheadCycles
+	return r, nil
+}
+
+// WriteJSON emits the neuroc-telemetry/v1 record.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteTable renders the per-layer table for terminals (m0run -layers).
+func (r *Report) WriteTable(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "LAYER\tKERNEL\tCYCLES\tLATENCY_MS\tSHARE")
+	for _, l := range r.Layers {
+		fmt.Fprintf(tw, "%d\t%s\t%d\t%.3f\t%4.1f%%\n",
+			l.Index, l.Kernel, l.Cycles, l.LatencyMS, l.Share*100)
+	}
+	fmt.Fprintf(tw, "\t[layers]\t%d\t%.3f\t\n", r.LayerCycles, device.CyclesToMS(r.LayerCycles))
+	fmt.Fprintf(tw, "\t[markers]\t%d\t%.3f\t\n", r.OverheadCycles, device.CyclesToMS(r.OverheadCycles))
+	fmt.Fprintf(tw, "\t[other]\t%d\t%.3f\t\n", r.OtherCycles, device.CyclesToMS(r.OtherCycles))
+	fmt.Fprintf(tw, "\t[total]\t%d\t%.3f\t\n", r.TotalCycles, device.CyclesToMS(r.TotalCycles))
+	return tw.Flush()
+}

@@ -44,4 +44,13 @@ go run ./cmd/neuroc-bench -exp table1,fig2,fig3,fig5,farm -quick -j 4 -metrics b
 echo "== metricscheck"
 go run ./cmd/metricscheck bench_quick.json
 
+echo "== metrics regression gate (deterministic keys vs committed baseline)"
+# Every emulator-computed key (cycle counts, instructions, accuracy,
+# footprints, per-layer telemetry cycles) must match BENCH_BASELINE.json
+# EXACTLY — the emulator is deterministic, so any drift is a real
+# behavior change. Wall-clock keys are ignored at tolerance 0. After an
+# intentional cycle-model or codegen change, regenerate the baseline
+# with the bench-smoke command above and commit it with the change.
+go run ./cmd/metricscheck -compare BENCH_BASELINE.json bench_quick.json
+
 echo "verify: ok"
