@@ -13,12 +13,23 @@
 //	m0run -model model.ncq1 -profile-json p.json
 //	m0run -img kernel.bin -trace 50             # first 50 instructions
 //
+// Energy attribution (see docs/ENERGY.md): -energy builds the image
+// with telemetry markers and prices the measured per-layer cycles with
+// the board's calibrated energy model, printing a per-layer µJ table;
+// -energy-json writes the structured neuroc-energy/v1 record. Combined
+// with -profile, the hotspot and class tables gain µJ columns:
+//
+//	m0run -model model.ncq1 -energy
+//	m0run -model model.ncq1 -energy -energy-json energy.json
+//	m0run -model model.ncq1 -profile -energy
+//
 // Batch mode distributes a file of concatenated input records across a
 // farm of emulated boards (one per worker, shared immutable flash) and
 // reports per-input predictions plus aggregate cycle statistics; the
 // results are bit-identical for every -j:
 //
 //	m0run -model model.ncq1 -batch inputs.raw -j 8
+//	m0run -model model.ncq1 -batch inputs.raw -energy   # batch µJ aggregate
 package main
 
 import (
@@ -58,6 +69,8 @@ func main() {
 	folded := flag.String("folded", "", "write a flamegraph-compatible folded-stack profile to this file")
 	profJSON := flag.String("profile-json", "", "write the full profile as JSON to this file")
 	layers := flag.Bool("layers", false, "build with on-device telemetry markers and print per-layer cycle attribution (requires -model; with -batch, aggregated across the batch)")
+	energyRep := flag.Bool("energy", false, "price the measured cycles with the board's calibrated energy model and print a per-layer µJ report (requires -model; implies telemetry markers; with -batch, aggregated across the batch)")
+	energyJSON := flag.String("energy-json", "", "write the neuroc-energy/v1 report as JSON to this file (requires -energy)")
 	batch := flag.String("batch", "", "raw file of concatenated input records (model input dim each): run all of them on the board farm (requires -model)")
 	workers := flag.Int("j", 0, "board-farm workers for -batch (0 = all host cores); results are bit-identical for any value")
 	cpuprofile := flag.String("cpuprofile", "", "write a host pprof CPU profile of the emulator to this file")
@@ -75,6 +88,12 @@ func main() {
 	}
 	if *layers && *model == "" {
 		fatal(fmt.Errorf("-layers requires -model: layer markers are emitted when the image is built"))
+	}
+	if *energyRep && *model == "" {
+		fatal(fmt.Errorf("-energy requires -model: per-layer attribution needs the telemetry markers emitted at image build"))
+	}
+	if *energyJSON != "" && !*energyRep {
+		fatal(fmt.Errorf("-energy-json requires -energy"))
 	}
 	if *batch != "" {
 		if conflicts := batchFlagConflicts(*prof, *traceN, *folded, *profJSON, *in, *dumpAddr); len(conflicts) != 0 {
@@ -100,7 +119,7 @@ func main() {
 			"block": modelimg.UseBlock, "csc": modelimg.UseCSC,
 			"delta": modelimg.UseDelta, "mixed": modelimg.UseMixed,
 		}[*encName]
-		image, err = modelimg.BuildOpts(qm, modelimg.BuildOptions{Encoding: enc, Telemetry: *layers})
+		image, err = modelimg.BuildOpts(qm, modelimg.BuildOptions{Encoding: enc, Telemetry: *layers || *energyRep})
 		if err != nil {
 			fatal(err)
 		}
@@ -119,7 +138,7 @@ func main() {
 		if image == nil {
 			fatal(fmt.Errorf("-batch requires -model (the input record size is the model's input dimension)"))
 		}
-		runBatch(image, *batch, *workers, *maxInstr, *ws)
+		runBatch(image, *batch, *workers, *maxInstr, *ws, *energyRep, *energyJSON)
 		return
 	}
 
@@ -128,7 +147,7 @@ func main() {
 		fatal(err)
 	}
 	cpu.Bus.FlashWaitStates = *ws
-	if *layers {
+	if *layers || *energyRep {
 		cpu.EnableTimer()
 	}
 
@@ -204,19 +223,35 @@ func main() {
 	fmt.Printf("\nsp  = 0x%08x  lr = 0x%08x  pc = 0x%08x\n",
 		cpu.R[armv6m.SP], cpu.R[armv6m.LR], cpu.R[armv6m.PC])
 
-	if *layers {
-		fmt.Println()
+	if *layers || *energyRep {
 		res := &device.Result{
 			Cycles:           cpu.Cycles,
+			SleepCycles:      cpu.SleepCycles,
 			Telemetry:        cpu.Bus.Timer.Events,
 			TelemetryDropped: cpu.Bus.Timer.Dropped,
 		}
-		rep, err := telemetry.BuildReport(image, res, *ws)
-		if err != nil {
-			fatal(err)
+		if *layers {
+			fmt.Println()
+			rep, err := telemetry.BuildReport(image, res, *ws)
+			if err != nil {
+				fatal(err)
+			}
+			if err := rep.WriteTable(os.Stdout); err != nil {
+				fatal(err)
+			}
 		}
-		if err := rep.WriteTable(os.Stdout); err != nil {
-			fatal(err)
+		if *energyRep {
+			fmt.Println()
+			rep, err := telemetry.BuildEnergyReport(image, res, *ws, device.EnergyModel())
+			if err != nil {
+				fatal(err)
+			}
+			if err := rep.WriteTable(os.Stdout); err != nil {
+				fatal(err)
+			}
+			if *energyJSON != "" {
+				writeTo(*energyJSON, rep.WriteJSON)
+			}
 		}
 	}
 
@@ -228,6 +263,12 @@ func main() {
 			p.BusTable().Fprint(os.Stdout)
 			p.KernelTable(*top).Fprint(os.Stdout)
 			p.HotTable(*top).Fprint(os.Stdout)
+			if *energyRep {
+				em := device.EnergyModel()
+				p.EnergyTable(em).Fprint(os.Stdout)
+				p.KernelEnergyTable(*top, em).Fprint(os.Stdout)
+				p.HotEnergyTable(*top, em).Fprint(os.Stdout)
+			}
 		}
 		if *folded != "" {
 			writeTo(*folded, p.WriteFolded)
@@ -302,7 +343,7 @@ func batchFlagConflicts(prof bool, traceN uint64, folded, profJSON, in, dumpAddr
 // per-input predictions, cycle counts, and aggregate statistics. A
 // budget-exhausted or faulting input exits non-zero after the whole
 // batch is reported (one bad input never hides the others).
-func runBatch(image *modelimg.Image, path string, workers int, maxInstr uint64, ws int) {
+func runBatch(image *modelimg.Image, path string, workers int, maxInstr uint64, ws int, energyRep bool, energyJSON string) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fatal(err)
@@ -356,6 +397,19 @@ func runBatch(image *modelimg.Image, path string, workers int, maxInstr uint64, 
 		fmt.Println()
 		if err := telemetry.WriteStatsTable(os.Stdout, layerStats); err != nil {
 			fatal(err)
+		}
+		if energyRep {
+			agg, err := telemetry.AggregateEnergy(image, results, ws, device.EnergyModel())
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+			if err := agg.WriteTable(os.Stdout); err != nil {
+				fatal(err)
+			}
+			if energyJSON != "" {
+				writeTo(energyJSON, agg.WriteJSON)
+			}
 		}
 	}
 	if batchErr != nil {

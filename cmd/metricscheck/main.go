@@ -2,15 +2,20 @@
 // emitted by `neuroc-bench -metrics` (neuroc-metrics/v1).
 //
 // Validate one file — it must parse, carry the schema, and every
-// experiment record must contain the required keys:
+// experiment record must contain the required keys. Energy keys
+// (uj_per_inference, the energy calibration block, per-layer uj) are
+// optional but type-checked wherever present: each must be a finite,
+// non-negative JSON number, so a NaN-as-string or negative figure fails
+// validation rather than flowing into downstream tooling:
 //
 //	metricscheck bench_quick.json
 //
 // Compare a fresh run against a committed baseline — deterministic keys
-// (cycle counts, instructions, accuracy, footprints, per-layer cycles)
-// must match EXACTLY; host wall-clock keys (wall_ms, infers_per_sec,
-// speedup, host_mips, predecode_build_ms) are checked against a
-// relative band, or ignored when -tolerance is 0:
+// (cycle counts, instructions, accuracy, footprints, per-layer cycles,
+// and the energy keys, which are priced from exact cycle counts by a
+// fixed model) must match EXACTLY; host wall-clock keys (wall_ms,
+// infers_per_sec, speedup, host_mips, predecode_build_ms) are checked
+// against a relative band, or ignored when -tolerance is 0:
 //
 //	metricscheck -compare BENCH_BASELINE.json bench_quick.json
 //	metricscheck -compare -tolerance 0.5 old.json new.json

@@ -143,6 +143,35 @@ func (d *Deployment) MeasureLayers(ds *Dataset, runs int) ([]telemetry.LayerStat
 	return telemetry.Aggregate(img, results, 0)
 }
 
+// MeasureEnergy measures per-layer energy attribution: MeasureLayers'
+// telemetry pipeline priced with the board's calibrated energy model
+// (device.EnergyModel). It builds the deployment's telemetry twin, runs
+// the inferences across the board farm, and returns the batch-level
+// neuroc-energy/v1 aggregate — whole-batch and per-layer µJ, derived
+// from the exact marker-corrected cycle counts, so the figures are
+// fully deterministic and sum exactly (see internal/telemetry).
+func (d *Deployment) MeasureEnergy(ds *Dataset, runs int) (*telemetry.EnergyAggregate, error) {
+	if runs <= 0 {
+		runs = 10
+	}
+	img, err := modelimg.BuildOpts(d.QModel, modelimg.BuildOptions{
+		Encoding:  d.Encoding,
+		Telemetry: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("neuroc: building telemetry twin: %w", err)
+	}
+	inputs := make([][]int8, runs)
+	for i := range inputs {
+		inputs[i] = d.QModel.QuantizeInput(ds.TestX.Row(i % ds.TestX.Rows))
+	}
+	results, _, err := farm.Map(img, inputs, farm.Options{Workers: d.Workers})
+	if err != nil {
+		return nil, err
+	}
+	return telemetry.AggregateEnergy(img, results, 0, device.EnergyModel())
+}
+
 // Profile runs one profiled inference on test-split sample idx and
 // returns the device result carrying the full cycle-attribution trace
 // (symbolize with profile.New(res.Trace, d.Img.Prog.Symbols)).

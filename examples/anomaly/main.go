@@ -13,9 +13,10 @@ import (
 	"fmt"
 	"log"
 	"math"
-	"time"
+	"os"
 
 	"github.com/neuro-c/neuroc"
+	"github.com/neuro-c/neuroc/internal/device"
 	"github.com/neuro-c/neuroc/internal/energy"
 )
 
@@ -95,18 +96,42 @@ func main() {
 		m.EffectiveParams(), float64(dep.ProgramBytes())/1024)
 	fmt.Printf("inference: %.2f ms (%d cycles @ 8 MHz)\n", ms, cycles)
 
-	// Energy estimate using the paper's latency-as-energy proxy (no
-	// DVFS on Cortex-M0-class parts): E = P_active · t.
-	budget := energy.STM32F072
-	perInference := budget.InferenceFromMS(ms)
-	fmt.Printf("energy: ~%.1f µJ per inference\n", perInference*1e6)
+	// Energy from the measured cycle count at the paper's fixed operating
+	// point (no DVFS on Cortex-M0-class parts, so E = P_active · t
+	// exactly — no wall-clock estimate involved).
+	model := energy.STM32F072Model(device.ClockHz)
+	perInference := model.Attribute(energy.Counts{ActiveCycles: cycles})
+	fmt.Printf("energy: %.2f µJ per event (%d measured cycles)\n",
+		perInference.TotalUJ(), cycles)
 
-	// Duty cycle: one window per second, sleeping in between.
-	duty := energy.DutyCycle{
-		Period:    time.Second,
-		ActiveFor: time.Duration(ms * float64(time.Millisecond)),
+	// Per-layer attribution: the telemetry twin measures each layer's
+	// exact marker-corrected cycle cost on-device, and the energy model
+	// prices those cycles — so the µJ rows sum to the whole inference.
+	agg, err := dep.MeasureEnergy(ds, 10)
+	if err != nil {
+		log.Fatal(err)
 	}
-	life := energy.CR2032.Lifetime(budget, duty)
-	fmt.Printf("at 1 inference/s: mean draw %.1f µW — %.1f years on a CR2032 coin cell\n",
-		budget.AveragePowerW(duty)*1e6, life.Hours()/24/365)
+	fmt.Println("\nper-layer energy (10 on-device inferences):")
+	if err := agg.WriteTable(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Duty cycle measured in cycles: one window per second, the core
+	// sleeping out the rest of each period at the stop-mode draw.
+	sleepCycles := uint64(0)
+	if cycles < device.ClockHz {
+		sleepCycles = device.ClockHz - cycles
+	}
+	duty := energy.MeasuredDuty(cycles, sleepCycles, device.ClockHz)
+	budget := energy.STM32F072
+	avgW, err := budget.AveragePowerW(duty)
+	if err != nil {
+		log.Fatal(err)
+	}
+	life, err := energy.CR2032.Lifetime(budget, duty)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("at 1 event/s: mean draw %.1f µW — %.1f years on a CR2032 coin cell\n",
+		avgW*1e6, life.Hours()/24/365)
 }

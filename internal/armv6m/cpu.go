@@ -50,6 +50,14 @@ type CPU struct {
 	// Instructions counts retired instructions.
 	Instructions uint64
 
+	// SleepCycles counts the cycles spent idling in WFI sleep, waiting
+	// for the next SysTick fire. They are included in Cycles — wall-clock
+	// time keeps advancing while the core sleeps — but are charged to no
+	// instruction class, so energy accounting can price them at the sleep
+	// operating point instead of the active one. Zero unless the program
+	// executes WFI (see sleep.go).
+	SleepCycles uint64
+
 	// MulCycles is the cost of MULS. The Cortex-M0 multiplier is
 	// configurable at silicon-integration time as 1 cycle (fast) or 32
 	// cycles (iterative); the STM32F0 uses the fast option, so 1 is the
@@ -309,6 +317,7 @@ func (c *CPU) stepTraced() error {
 	flashBefore := c.Bus.FlashReads
 	sramRBefore := c.Bus.SRAMReads
 	sramWBefore := c.Bus.SRAMWrites
+	sleepBefore := c.SleepCycles
 	if e := c.pentryAt(instrAddr); e != nil {
 		// Predecoded fast path, mirroring Step; attribution sees the
 		// same fetch accounting and the same original halfword.
@@ -323,7 +332,7 @@ func (c *CPU) stepTraced() error {
 		if t := c.Bus.Timer; t != nil && t.pending() {
 			t.commit(c.Cycles)
 		}
-		c.Trace.record(c, instrAddr, uint32(e.op), c.Cycles-instrStart, flashBefore, sramRBefore, sramWBefore)
+		c.Trace.record(c, instrAddr, uint32(e.op), c.Cycles-instrStart, flashBefore, sramRBefore, sramWBefore, c.SleepCycles-sleepBefore)
 		if c.SysTick.tick(int64(cycles)) {
 			c.pendingIRQ = true
 		}
@@ -348,7 +357,7 @@ func (c *CPU) stepTraced() error {
 	if t := c.Bus.Timer; t != nil && t.pending() {
 		t.commit(c.Cycles)
 	}
-	c.Trace.record(c, instrAddr, op, c.Cycles-instrStart, flashBefore, sramRBefore, sramWBefore)
+	c.Trace.record(c, instrAddr, op, c.Cycles-instrStart, flashBefore, sramRBefore, sramWBefore, c.SleepCycles-sleepBefore)
 	if c.SysTick.tick(int64(cycles)) {
 		c.pendingIRQ = true
 	}

@@ -552,7 +552,10 @@ func (c *CPU) execMisc(op uint32, st *execState) (int, error) {
 		c.HaltCode = uint8(op & 0xff)
 		return 1, nil
 
-	case op>>8 == 0b1011_1111: // hints: NOP/WFI/WFE/SEV/YIELD
+	case op>>8 == 0b1011_1111: // hints: NOP/WFE/SEV/YIELD are 1-cycle NOPs
+		if op == OpWFI { // WFI sleeps until the next wake event (sleep.go)
+			return c.wfi()
+		}
 		return 1, nil
 
 	default:

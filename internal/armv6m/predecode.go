@@ -1061,7 +1061,11 @@ func predecodeMisc(e *pentry, op uint32) {
 	case op>>8 == 0b1011_1110: // BKPT #imm8
 		e.fn, e.imm = phBkpt, op&0xff
 	case op>>8 == 0b1011_1111: // hints
-		e.fn = phHint
+		if op == OpWFI {
+			e.fn = phWFI
+		} else {
+			e.fn = phHint
+		}
 	}
 }
 
@@ -1760,6 +1764,15 @@ func phBkpt(c *CPU, e *pentry) (int, error) {
 func phHint(c *CPU, e *pentry) (int, error) {
 	c.R[PC] = e.next
 	return 1, nil
+}
+
+func phWFI(c *CPU, e *pentry) (int, error) {
+	cycles, err := c.wfi()
+	if err != nil {
+		return 0, err
+	}
+	c.R[PC] = e.next
+	return cycles, nil
 }
 
 func phBCond(c *CPU, e *pentry) (int, error) {

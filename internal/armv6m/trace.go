@@ -44,7 +44,7 @@ func (cl InstrClass) String() string {
 // PCSample is the per-address histogram cell.
 type PCSample struct {
 	Count  uint64 // retired instructions at this PC
-	Cycles uint64 // cycles attributed to this PC (incl. fetch wait states)
+	Cycles uint64 // active cycles attributed to this PC (incl. fetch wait states, excl. WFI sleep)
 }
 
 // InstrInfo describes one retired instruction, streamed to an OnInstr
@@ -53,7 +53,8 @@ type InstrInfo struct {
 	Addr   uint32
 	Op     uint16 // first halfword (BL's second halfword is at Addr+2)
 	Class  InstrClass
-	Cycles uint64 // total cost charged for this instruction
+	Cycles uint64 // total cost charged for this instruction (incl. Sleep)
+	Sleep  uint64 // WFI sleep portion of Cycles (0 for everything else)
 	Taken  bool   // branch redirected the PC
 }
 
@@ -62,11 +63,17 @@ type InstrInfo struct {
 // counters start at zero.
 type Trace struct {
 	// ClassCycles/ClassInstrs attribute retired instructions by class.
-	// Sum(ClassCycles) + ExceptionEntryCycles == CPU.Cycles and
-	// Sum(ClassInstrs) == CPU.Instructions for a trace enabled from
-	// reset.
+	// Sum(ClassCycles) + ExceptionEntryCycles + SleepCycles == CPU.Cycles
+	// and Sum(ClassInstrs) == CPU.Instructions for a trace enabled from
+	// reset. Class and per-PC cycles count active execution only: the
+	// sleep portion of a WFI is charged to SleepCycles, not to its class,
+	// so the active/sleep split feeds energy accounting directly.
 	ClassCycles [NumClasses]uint64
 	ClassInstrs [NumClasses]uint64
+
+	// SleepCycles is the WFI idle time observed by this trace (the
+	// per-run counterpart of CPU.SleepCycles).
+	SleepCycles uint64
 
 	// ExceptionEntryCycles is the stacking/vectoring cost of taken
 	// exceptions, charged between instructions; ExceptionEntries counts
@@ -124,7 +131,7 @@ func (c *CPU) EnableTrace() *Trace {
 // TotalCycles is the cycle total the trace accounts for; it equals
 // CPU.Cycles when the trace was enabled from reset.
 func (t *Trace) TotalCycles() uint64 {
-	total := t.ExceptionEntryCycles
+	total := t.ExceptionEntryCycles + t.SleepCycles
 	for _, c := range t.ClassCycles {
 		total += c
 	}
@@ -151,13 +158,17 @@ func (t *Trace) CPI() float64 {
 
 // record attributes one retired instruction. fr/sr/sw are the bus
 // counters snapshotted before the fetch, so the deltas cover the fetch
-// and all data accesses the instruction made.
-func (t *Trace) record(c *CPU, addr, op uint32, cycles uint64, fr, sr, sw uint64) {
+// and all data accesses the instruction made; sleep is the WFI idle
+// portion of cycles (zero for everything but a sleeping WFI), kept out
+// of the class/PC histograms but included in InstrInfo.Cycles so
+// running totals over OnInstr still match CPU.Cycles.
+func (t *Trace) record(c *CPU, addr, op uint32, cycles uint64, fr, sr, sw, sleep uint64) {
 	if c.R[SP] < t.SPMin {
 		t.SPMin = c.R[SP]
 	}
 	cl := classifyOp(op)
-	t.ClassCycles[cl] += cycles
+	t.ClassCycles[cl] += cycles - sleep
+	t.SleepCycles += sleep
 	t.ClassInstrs[cl]++
 	taken := false
 	if cl == ClassBranch {
@@ -187,9 +198,9 @@ func (t *Trace) record(c *CPU, addr, op uint32, cycles uint64, fr, sr, sw uint64
 		t.PCs[addr] = s
 	}
 	s.Count++
-	s.Cycles += cycles
+	s.Cycles += cycles - sleep
 	if t.OnInstr != nil {
-		t.OnInstr(InstrInfo{Addr: addr, Op: uint16(op), Class: cl, Cycles: cycles, Taken: taken})
+		t.OnInstr(InstrInfo{Addr: addr, Op: uint16(op), Class: cl, Cycles: cycles, Sleep: sleep, Taken: taken})
 	}
 }
 

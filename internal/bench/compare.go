@@ -89,6 +89,16 @@ func compareMetric(o, n *Metric, tolerance float64) []string {
 	exact("deployable", o.Deployable, n.Deployable)
 	exact("workers", o.Workers, n.Workers)
 	exact("error", o.Error, n.Error)
+	// Energy keys are priced from exact cycle counts by a fixed model:
+	// fully deterministic, so they gate exactly like cycles do.
+	exact("uj_per_inference", o.UJPerInference, n.UJPerInference)
+	switch {
+	case (o.Energy == nil) != (n.Energy == nil):
+		diffs = append(diffs, fmt.Sprintf("%s.energy: baseline present=%v, candidate present=%v",
+			o.Name, o.Energy != nil, n.Energy != nil))
+	case o.Energy != nil:
+		exact("energy", *o.Energy, *n.Energy)
+	}
 	if len(o.Layers) != len(n.Layers) {
 		diffs = append(diffs, fmt.Sprintf("%s.layers: baseline has %d, candidate %d", o.Name, len(o.Layers), len(n.Layers)))
 	} else {

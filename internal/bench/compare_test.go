@@ -64,6 +64,38 @@ func TestCompareMetricsCatchesLayerDrift(t *testing.T) {
 	}
 }
 
+// Energy keys are deterministic (priced from exact cycles by a fixed
+// model), so the compare gate treats them like cycle counts: any drift
+// is an error at tolerance 0.
+func TestCompareMetricsCatchesEnergyDrift(t *testing.T) {
+	withEnergy := func(f *MetricsFile) {
+		f.Experiments[0].UJPerInference = 10.728
+		f.Experiments[0].Energy = &EnergyMetric{ActivePowerW: 0.006, ClockHz: 8_000_000, UJPerInference: 10.728}
+	}
+	base := metricsDoc(t, withEnergy)
+	drifted := metricsDoc(t, func(f *MetricsFile) {
+		withEnergy(f)
+		f.Experiments[0].UJPerInference += 0.001
+	})
+	err := CompareMetricsJSON(base, drifted, 0)
+	if err == nil || !strings.Contains(err.Error(), "uj_per_inference") {
+		t.Errorf("uj drift not caught: %v", err)
+	}
+	blockDrift := metricsDoc(t, func(f *MetricsFile) {
+		withEnergy(f)
+		f.Experiments[0].Energy.ClockHz = 48_000_000
+	})
+	err = CompareMetricsJSON(base, blockDrift, 0)
+	if err == nil || !strings.Contains(err.Error(), "energy") {
+		t.Errorf("energy calibration drift not caught: %v", err)
+	}
+	// Baseline without the block vs candidate with it: presence mismatch.
+	err = CompareMetricsJSON(metricsDoc(t, nil), base, 0)
+	if err == nil || !strings.Contains(err.Error(), "energy") {
+		t.Errorf("energy presence mismatch not caught: %v", err)
+	}
+}
+
 func TestCompareMetricsWallClockBand(t *testing.T) {
 	base := metricsDoc(t, nil)
 	slower := metricsDoc(t, func(f *MetricsFile) {

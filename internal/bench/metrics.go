@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
+
+	"github.com/neuro-c/neuroc/internal/device"
 )
 
 // MetricsSchema identifies the structured-metrics JSON format emitted
@@ -66,6 +69,25 @@ type Metric struct {
 	// the marker overhead so entries match the uninstrumented image
 	// exactly. Only deployable model records carry it.
 	Layers []LayerMetric `json:"layers,omitempty"`
+
+	// UJPerInference prices the record's measured cycle count with the
+	// board's calibrated energy model (device.EnergyModel): the paper's
+	// P_active·t identity over exact cycles, so the value is fully
+	// deterministic and gated exactly by metricscheck -compare. Zero
+	// (omitted) when the record measured no cycles.
+	UJPerInference float64 `json:"uj_per_inference,omitempty"`
+
+	// Energy echoes the model calibration the µJ figures were priced
+	// with, so a stored metrics file is self-describing.
+	Energy *EnergyMetric `json:"energy,omitempty"`
+}
+
+// EnergyMetric is the per-record energy block: the calibration constants
+// plus the priced per-inference figure they produce.
+type EnergyMetric struct {
+	ActivePowerW   float64 `json:"active_power_w"`
+	ClockHz        int     `json:"clock_hz"`
+	UJPerInference float64 `json:"uj_per_inference"`
 }
 
 // LayerMetric is one layer's row in a model record's per-layer
@@ -75,7 +97,8 @@ type LayerMetric struct {
 	Kernel    string  `json:"kernel"`
 	Cycles    uint64  `json:"cycles"`
 	LatencyMS float64 `json:"latency_ms"`
-	Share     float64 `json:"share"` // fraction of the record's total cycles
+	Share     float64 `json:"share"`        // fraction of the record's total cycles
+	UJ        float64 `json:"uj,omitempty"` // the layer's cycles priced in µJ
 }
 
 // MetricsFile is the top-level metrics document.
@@ -88,9 +111,24 @@ type MetricsFile struct {
 
 // record registers a metric under its name, overwriting an earlier
 // record of the same experiment (memoized candidates report once).
+// Derived keys are computed here — CPI from the counts, and the energy
+// keys from the cycle count — so every record site (model, micro, farm)
+// carries them without repeating the arithmetic.
 func (r *Runner) record(m Metric) {
 	if m.Instructions > 0 {
 		m.CPI = float64(m.Cycles) / float64(m.Instructions)
+	}
+	if m.Cycles > 0 {
+		em := device.EnergyModel()
+		m.UJPerInference = em.ActiveUJ(m.Cycles)
+		m.Energy = &EnergyMetric{
+			ActivePowerW:   em.Budget.ActivePowerW(),
+			ClockHz:        em.ClockHz,
+			UJPerInference: m.UJPerInference,
+		}
+		for i := range m.Layers {
+			m.Layers[i].UJ = em.ActiveUJ(m.Layers[i].Cycles)
+		}
 	}
 	r.metrics[m.Name] = m
 }
@@ -154,6 +192,29 @@ func ValidateMetricsJSON(data []byte) error {
 				return fmt.Errorf("metrics: experiment %d key %q is not a number: %s", i, k, raw)
 			}
 		}
+		// Energy keys: finite non-negative numbers wherever they appear.
+		// (A literal NaN is not valid JSON, but a string "NaN" or a
+		// negative value would slip through a plain presence check.)
+		if raw, ok := e["uj_per_inference"]; ok {
+			if err := checkEnergyNumber(raw); err != nil {
+				return fmt.Errorf("metrics: experiment %d key \"uj_per_inference\": %w", i, err)
+			}
+		}
+		if raw, ok := e["energy"]; ok {
+			var em map[string]json.RawMessage
+			if err := json.Unmarshal(raw, &em); err != nil {
+				return fmt.Errorf("metrics: experiment %d key \"energy\" is not an object: %w", i, err)
+			}
+			for _, k := range []string{"active_power_w", "clock_hz", "uj_per_inference"} {
+				v, ok := em[k]
+				if !ok {
+					return fmt.Errorf("metrics: experiment %d energy block missing %q", i, k)
+				}
+				if err := checkEnergyNumber(v); err != nil {
+					return fmt.Errorf("metrics: experiment %d energy.%s: %w", i, k, err)
+				}
+			}
+		}
 		// Per-layer attribution, when present, must be well-formed: call
 		// order indices and a positive cycle count per layer.
 		if raw, ok := e["layers"]; ok {
@@ -168,8 +229,27 @@ func ValidateMetricsJSON(data []byte) error {
 				if l.Kernel == "" || l.Cycles == 0 {
 					return fmt.Errorf("metrics: experiment %d layer %d missing kernel or cycles", i, j)
 				}
+				if math.IsNaN(l.UJ) || l.UJ < 0 {
+					return fmt.Errorf("metrics: experiment %d layer %d energy %v is NaN or negative", i, j, l.UJ)
+				}
 			}
 		}
+	}
+	return nil
+}
+
+// checkEnergyNumber requires raw to decode as a finite, non-negative
+// JSON number.
+func checkEnergyNumber(raw json.RawMessage) error {
+	var v float64
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return fmt.Errorf("not a number: %s", raw)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("not finite: %s", raw)
+	}
+	if v < 0 {
+		return fmt.Errorf("negative: %s", raw)
 	}
 	return nil
 }

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"github.com/neuro-c/neuroc/internal/device"
 )
 
 // TestFig5RecordsMetrics checks that a training-free device-measured
@@ -59,6 +61,12 @@ func TestFig5RecordsMetrics(t *testing.T) {
 	}
 }
 
+// validExp builds a metrics document with one otherwise-valid
+// experiment plus extra raw JSON keys spliced into it.
+func validExp(extra string) string {
+	return `{"schema":"neuroc-metrics/v1","experiments":[{"name":"x","kind":"micro","cycles":1,"instructions":1,"cpi":1,"latency_ms":1,"accuracy":0,"flash_bytes":1,"ram_bytes":1,` + extra + `}]}`
+}
+
 func TestValidateMetricsJSONRejects(t *testing.T) {
 	cases := []struct {
 		name string
@@ -69,12 +77,47 @@ func TestValidateMetricsJSONRejects(t *testing.T) {
 		{"wrong-schema", `{"schema":"other/v9","experiments":[{}]}`, "schema"},
 		{"no-experiments", `{"schema":"neuroc-metrics/v1","experiments":[]}`, "no experiments"},
 		{"missing-key", `{"schema":"neuroc-metrics/v1","experiments":[{"name":"x","kind":"micro","cycles":1,"instructions":1,"cpi":1,"latency_ms":1,"accuracy":0,"flash_bytes":1}]}`, `"ram_bytes"`},
+		{"energy-negative", validExp(`"uj_per_inference":-1.5`), "negative"},
+		{"energy-string", validExp(`"uj_per_inference":"NaN"`), "not a number"},
+		{"energy-not-object", validExp(`"energy":42`), "not an object"},
+		{"energy-missing-field", validExp(`"energy":{"active_power_w":0.006,"clock_hz":8000000}`), `"uj_per_inference"`},
+		{"energy-bad-field", validExp(`"energy":{"active_power_w":-0.006,"clock_hz":8000000,"uj_per_inference":1}`), "negative"},
 	}
 	for _, c := range cases {
 		err := ValidateMetricsJSON([]byte(c.data))
 		if err == nil || !strings.Contains(err.Error(), c.want) {
 			t.Errorf("%s: error = %v, want substring %q", c.name, err, c.want)
 		}
+	}
+}
+
+// TestRecordPricesEnergy checks record derives the energy keys — record
+// and per-layer — from the measured cycles with the board's calibrated
+// model, and leaves them absent when nothing was measured.
+func TestRecordPricesEnergy(t *testing.T) {
+	r := quickRunner()
+	r.record(Metric{Name: "e", Kind: "model", Cycles: 8000, Instructions: 8000,
+		Layers: []LayerMetric{{Index: 0, Kernel: "k_fc", Cycles: 8000}}})
+	r.record(Metric{Name: "f", Kind: "model", Error: "deploy failed"})
+	exps := r.Metrics().Experiments
+	em := device.EnergyModel()
+	m := exps[0]
+	if m.UJPerInference != em.ActiveUJ(8000) {
+		t.Errorf("uj_per_inference = %v, want %v", m.UJPerInference, em.ActiveUJ(8000))
+	}
+	if m.Energy == nil {
+		t.Fatal("energy block missing on a measured record")
+	}
+	if m.Energy.ClockHz != em.ClockHz || m.Energy.ActivePowerW != em.Budget.ActivePowerW() ||
+		m.Energy.UJPerInference != m.UJPerInference {
+		t.Errorf("energy block desynchronized: %+v", *m.Energy)
+	}
+	if m.Layers[0].UJ != em.ActiveUJ(8000) {
+		t.Errorf("layer uj = %v, want %v", m.Layers[0].UJ, em.ActiveUJ(8000))
+	}
+	// A failed record measured no cycles: no energy keys at all.
+	if f := exps[1]; f.UJPerInference != 0 || f.Energy != nil {
+		t.Errorf("failure record carries energy keys: %+v", f)
 	}
 }
 

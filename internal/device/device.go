@@ -9,11 +9,18 @@ import (
 	"fmt"
 
 	"github.com/neuro-c/neuroc/internal/armv6m"
+	"github.com/neuro-c/neuroc/internal/energy"
 	"github.com/neuro-c/neuroc/internal/modelimg"
 )
 
 // ClockHz is the paper's system clock (8 MHz, zero flash wait states).
 const ClockHz = 8_000_000
+
+// EnergyModel is the calibrated electrical model of the emulated board
+// at its fixed operating point: STM32F072 datasheet currents at ClockHz,
+// zero component adders, so it reduces to the paper's P_active·t
+// identity. Every harness that prices cycles shares this one model.
+func EnergyModel() energy.Model { return energy.STM32F072Model(ClockHz) }
 
 // MaxInstructions is the default per-inference instruction budget,
 // bounding a single inference against runaway kernels (the largest
@@ -28,6 +35,12 @@ type Result struct {
 	Output       []int8
 	Cycles       uint64
 	Instructions uint64
+
+	// SleepCycles is the WFI idle portion of Cycles (zero for ordinary
+	// inference images, which never sleep). ActiveCycles() is the
+	// complement; energy accounting prices the two at different
+	// operating points.
+	SleepCycles uint64
 
 	// Trace carries the full cycle-attribution breakdown when the
 	// inference ran through RunProfiled; nil for plain Run.
@@ -50,6 +63,9 @@ type Result struct {
 	// incomplete and per-layer attribution must not be trusted.
 	TelemetryDropped uint64
 }
+
+// ActiveCycles is the non-sleep portion of Cycles.
+func (r *Result) ActiveCycles() uint64 { return r.Cycles - r.SleepCycles }
 
 // LatencyMS converts cycles to milliseconds at the device clock. A
 // zero-cycle result (nothing executed) reports zero latency.
@@ -204,6 +220,7 @@ func (d *Device) run(input []int8, trace *armv6m.Trace) (*Result, error) {
 	initialSP := d.CPU.R[armv6m.SP]
 	d.CPU.Cycles = 0
 	d.CPU.Instructions = 0
+	d.CPU.SleepCycles = 0
 	d.CPU.Trace = trace
 	defer func() { d.CPU.Trace = nil }()
 	if t := d.CPU.Bus.Timer; t != nil {
@@ -230,7 +247,7 @@ func (d *Device) run(input []int8, trace *armv6m.Trace) (*Result, error) {
 		}
 		out[i] = int8(uint8(v))
 	}
-	res := &Result{Output: out, Cycles: d.CPU.Cycles, Instructions: d.CPU.Instructions, Trace: trace}
+	res := &Result{Output: out, Cycles: d.CPU.Cycles, Instructions: d.CPU.Instructions, SleepCycles: d.CPU.SleepCycles, Trace: trace}
 	if trace != nil {
 		res.StackPeakBytes = trace.StackPeak(initialSP)
 	}

@@ -53,13 +53,28 @@ type DutyCycle struct {
 	ActiveFor time.Duration // awake portion (inference + I/O)
 }
 
-// AveragePowerW is the mean power of the duty-cycled loop.
-func (b Budget) AveragePowerW(d DutyCycle) float64 {
+// MeasuredDuty builds a DutyCycle from measured cycle counts at a given
+// clock — the bridge from the emulator's active/sleep split (WFI sleep
+// accounting) to the battery-sizing arithmetic below. activeCycles is
+// the awake portion, sleepCycles the idle remainder of the period.
+func MeasuredDuty(activeCycles, sleepCycles uint64, clockHz int) DutyCycle {
+	perCycle := float64(time.Second) / float64(clockHz)
+	return DutyCycle{
+		Period:    time.Duration(float64(activeCycles+sleepCycles) * perCycle),
+		ActiveFor: time.Duration(float64(activeCycles) * perCycle),
+	}
+}
+
+// AveragePowerW is the mean power of the duty-cycled loop. It rejects
+// degenerate duty cycles (non-positive period, negative or
+// over-unity active fraction) with an error: the inputs may come from
+// user-supplied configurations, not just measured counts.
+func (b Budget) AveragePowerW(d DutyCycle) (float64, error) {
 	if d.Period <= 0 || d.ActiveFor < 0 || d.ActiveFor > d.Period {
-		panic(fmt.Sprintf("energy: invalid duty cycle %+v", d))
+		return 0, fmt.Errorf("energy: invalid duty cycle %+v", d)
 	}
 	frac := d.ActiveFor.Seconds() / d.Period.Seconds()
-	return b.ActivePowerW()*frac + b.SleepPowerW()*(1-frac)
+	return b.ActivePowerW()*frac + b.SleepPowerW()*(1-frac), nil
 }
 
 // Battery is an energy store.
@@ -77,17 +92,22 @@ func (bat Battery) EnergyJ() float64 {
 }
 
 // Lifetime returns how long the battery sustains the duty-cycled load.
-func (bat Battery) Lifetime(b Budget, d DutyCycle) time.Duration {
-	p := b.AveragePowerW(d)
+// The duration saturates at the maximum representable value for
+// vanishingly small loads.
+func (bat Battery) Lifetime(b Budget, d DutyCycle) (time.Duration, error) {
+	p, err := b.AveragePowerW(d)
+	if err != nil {
+		return 0, err
+	}
 	if p <= 0 {
-		return time.Duration(1<<63 - 1)
+		return time.Duration(1<<63 - 1), nil
 	}
 	seconds := bat.EnergyJ() / p
 	const maxSec = float64(1<<63-1) / float64(time.Second)
 	if seconds > maxSec {
 		seconds = maxSec
 	}
-	return time.Duration(seconds * float64(time.Second))
+	return time.Duration(seconds * float64(time.Second)), nil
 }
 
 // InferencesPerJoule is a throughput-per-energy figure of merit.

@@ -23,18 +23,29 @@ func TestAveragePower(t *testing.T) {
 	// 1% duty cycle: 0.01*6mW + 0.99*6µW.
 	d := DutyCycle{Period: time.Second, ActiveFor: 10 * time.Millisecond}
 	want := 0.01*0.006 + 0.99*6e-6
-	if got := b.AveragePowerW(d); math.Abs(got-want) > 1e-9 {
+	got, err := b.AveragePowerW(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9 {
 		t.Errorf("AveragePowerW = %v, want %v", got, want)
 	}
 }
 
 func TestAveragePowerValidation(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("invalid duty cycle accepted")
+	bad := []DutyCycle{
+		{Period: time.Second, ActiveFor: 2 * time.Second}, // over-unity
+		{Period: 0, ActiveFor: 0},                         // empty period
+		{Period: time.Second, ActiveFor: -time.Second},    // negative
+	}
+	for _, d := range bad {
+		if _, err := (Budget{}).AveragePowerW(d); err == nil {
+			t.Errorf("invalid duty cycle %+v accepted", d)
 		}
-	}()
-	Budget{}.AveragePowerW(DutyCycle{Period: time.Second, ActiveFor: 2 * time.Second})
+		if _, err := CR2032.Lifetime(STM32F072, d); err == nil {
+			t.Errorf("Lifetime accepted invalid duty cycle %+v", d)
+		}
+	}
 }
 
 func TestBatteryLifetime(t *testing.T) {
@@ -45,15 +56,24 @@ func TestBatteryLifetime(t *testing.T) {
 	b := STM32F072
 	// Always-sleeping device: lifetime = energy / sleep power.
 	d := DutyCycle{Period: time.Second, ActiveFor: 0}
-	life := bat.Lifetime(b, d)
+	life, err := bat.Lifetime(b, d)
+	if err != nil {
+		t.Fatal(err)
+	}
 	wantSec := bat.EnergyJ() / b.SleepPowerW()
 	if math.Abs(life.Seconds()-wantSec) > wantSec*0.01 {
 		t.Errorf("lifetime = %v s, want %v", life.Seconds(), wantSec)
 	}
 	// Duty-cycled load must live shorter than pure sleep and longer than
 	// always-on.
-	active := bat.Lifetime(b, DutyCycle{Period: time.Second, ActiveFor: time.Second})
-	duty := bat.Lifetime(b, DutyCycle{Period: time.Second, ActiveFor: 5 * time.Millisecond})
+	active, err := bat.Lifetime(b, DutyCycle{Period: time.Second, ActiveFor: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	duty, err := bat.Lifetime(b, DutyCycle{Period: time.Second, ActiveFor: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !(active < duty && duty < life) {
 		t.Errorf("lifetime ordering broken: %v %v %v", active, duty, life)
 	}

@@ -1,0 +1,111 @@
+package energy
+
+// Cycle-level energy model. The paper's identity — energy = P_active ·
+// t_inference on a fixed-operating-point part — prices every active
+// cycle the same; this file makes that the calibrated default while
+// leaving room for the component attribution the related RRAM-TNN work
+// reports (core vs memory-access energy). A Model splits an inference's
+// energy into:
+//
+//	core   — active execute cycles at the run-mode operating point
+//	flash  — per-access adder for flash reads (fetch and data)
+//	sram   — per-access adder for SRAM reads/writes
+//	wait   — per-cycle adder for flash wait-state stalls
+//	sleep  — WFI idle cycles at the sleep operating point
+//
+// The adders default to zero: the datasheet run-mode current already
+// includes the memory system at the paper's operating point (8 MHz,
+// zero wait states), so the calibrated default reduces exactly to
+// P_active·t — TotalJ computed through Attribute is bit-identical to
+// ActiveJ(cycles) when no component adders and no sleep are present
+// (x + 0.0 == x for every finite x). Non-zero adders are for modeling
+// parts where memory traffic is priced separately.
+
+// Model prices cycle and bus-access counts in joules.
+type Model struct {
+	// Budget is the electrical operating point (currents, voltage).
+	Budget Budget
+	// ClockHz converts cycles to seconds.
+	ClockHz int
+
+	// FlashJPerAccess, SRAMJPerAccess, and WaitJPerCycle are optional
+	// per-event adders on top of the core draw; all zero in the
+	// fixed-operating-point default.
+	FlashJPerAccess float64
+	SRAMJPerAccess  float64
+	WaitJPerCycle   float64
+}
+
+// STM32F072Model is the paper's target at its measured operating point:
+// 8 MHz from internal flash, zero wait states, datasheet currents. The
+// zero adders make it the pure P_active·t model.
+func STM32F072Model(clockHz int) Model {
+	return Model{Budget: STM32F072, ClockHz: clockHz}
+}
+
+// CoreJPerCycle is the active energy of one cycle.
+func (m Model) CoreJPerCycle() float64 {
+	return m.Budget.ActivePowerW() / float64(m.ClockHz)
+}
+
+// SleepJPerCycle is the sleep energy of one cycle.
+func (m Model) SleepJPerCycle() float64 {
+	return m.Budget.SleepPowerW() / float64(m.ClockHz)
+}
+
+// ActiveJ is the closed-form P_active·t energy of running for the given
+// cycle count. This is the whole model when the component adders are
+// zero and the core never sleeps; the exactness tests hold Attribute to
+// it bit-for-bit.
+func (m Model) ActiveJ(cycles uint64) float64 {
+	return m.CoreJPerCycle() * float64(cycles)
+}
+
+// ActiveUJ is ActiveJ in microjoules, the natural unit at this scale.
+func (m Model) ActiveUJ(cycles uint64) float64 {
+	return m.ActiveJ(cycles) * 1e6
+}
+
+// Counts are the measured quantities a Model prices. They come from the
+// emulator's exact counters: CPU cycles and the trace hook's bus-region
+// attribution.
+type Counts struct {
+	// ActiveCycles is execute time (fetch, ALU, memory, branches,
+	// exception entry) — everything except WFI sleep.
+	ActiveCycles uint64
+	// SleepCycles is WFI idle time.
+	SleepCycles uint64
+	// FlashAccesses / SRAMAccesses count bus transactions per region.
+	FlashAccesses uint64
+	SRAMAccesses  uint64
+	// FlashWaitCycles is the stall time already included in
+	// ActiveCycles, priced separately only when WaitJPerCycle is set.
+	FlashWaitCycles uint64
+}
+
+// Breakdown is the priced attribution of a Counts.
+type Breakdown struct {
+	CoreJ  float64
+	FlashJ float64
+	SRAMJ  float64
+	WaitJ  float64
+	SleepJ float64
+	TotalJ float64
+}
+
+// TotalUJ is the total in microjoules.
+func (b Breakdown) TotalUJ() float64 { return b.TotalJ * 1e6 }
+
+// Attribute prices the counts. With zero adders and zero sleep the
+// result's TotalJ equals ActiveJ(ct.ActiveCycles) exactly.
+func (m Model) Attribute(ct Counts) Breakdown {
+	b := Breakdown{
+		CoreJ:  m.CoreJPerCycle() * float64(ct.ActiveCycles),
+		FlashJ: m.FlashJPerAccess * float64(ct.FlashAccesses),
+		SRAMJ:  m.SRAMJPerAccess * float64(ct.SRAMAccesses),
+		WaitJ:  m.WaitJPerCycle * float64(ct.FlashWaitCycles),
+		SleepJ: m.SleepJPerCycle() * float64(ct.SleepCycles),
+	}
+	b.TotalJ = b.CoreJ + b.FlashJ + b.SRAMJ + b.WaitJ + b.SleepJ
+	return b
+}

@@ -1,0 +1,108 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestModelReducesToPaperIdentity(t *testing.T) {
+	// The calibrated default (zero component adders) must reduce to
+	// P_active·t bit-for-bit, not approximately: the report gates compare
+	// energies exactly.
+	m := STM32F072Model(8_000_000)
+	for _, cycles := range []uint64{0, 1, 9514, 123_456_789} {
+		b := m.Attribute(Counts{ActiveCycles: cycles})
+		if b.TotalJ != m.ActiveJ(cycles) {
+			t.Errorf("cycles=%d: Attribute total %v != ActiveJ %v", cycles, b.TotalJ, m.ActiveJ(cycles))
+		}
+		if b.FlashJ != 0 || b.SRAMJ != 0 || b.WaitJ != 0 || b.SleepJ != 0 {
+			t.Errorf("cycles=%d: nonzero component in the default model: %+v", cycles, b)
+		}
+		// And the closed form is the textbook arithmetic (tolerance: the
+		// association order differs from CoreJPerCycle()*cycles by ulps).
+		want := m.Budget.ActivePowerW() * float64(cycles) / float64(m.ClockHz)
+		if math.Abs(b.TotalJ-want) > 1e-15*math.Abs(want) {
+			t.Errorf("cycles=%d: total %v != P_active*t %v", cycles, b.TotalJ, want)
+		}
+	}
+}
+
+func TestModelComponentAttribution(t *testing.T) {
+	m := Model{
+		Budget:          Budget{ActiveCurrentA: 0.002, SleepCurrentA: 2e-6, SupplyV: 3},
+		ClockHz:         8_000_000,
+		FlashJPerAccess: 1e-10,
+		SRAMJPerAccess:  2e-11,
+		WaitJPerCycle:   5e-11,
+	}
+	ct := Counts{
+		ActiveCycles:    10_000,
+		SleepCycles:     90_000,
+		FlashAccesses:   4_000,
+		SRAMAccesses:    1_500,
+		FlashWaitCycles: 2_000,
+	}
+	b := m.Attribute(ct)
+	checks := []struct {
+		name      string
+		got, want float64
+	}{
+		{"core", b.CoreJ, m.CoreJPerCycle() * 10_000},
+		{"flash", b.FlashJ, m.FlashJPerAccess * 4_000},
+		{"sram", b.SRAMJ, m.SRAMJPerAccess * 1_500},
+		{"wait", b.WaitJ, m.WaitJPerCycle * 2_000},
+		{"sleep", b.SleepJ, m.SleepJPerCycle() * 90_000},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+	if b.TotalJ != b.CoreJ+b.FlashJ+b.SRAMJ+b.WaitJ+b.SleepJ {
+		t.Errorf("total %v is not the component sum", b.TotalJ)
+	}
+	if uj := b.TotalUJ(); uj != b.TotalJ*1e6 {
+		t.Errorf("TotalUJ = %v, want %v", uj, b.TotalJ*1e6)
+	}
+}
+
+func TestMeasuredDuty(t *testing.T) {
+	// 10k active + 90k sleep at 100 kHz: a 1 s period, 10% duty.
+	d := MeasuredDuty(10_000, 90_000, 100_000)
+	if d.Period != time.Second {
+		t.Errorf("period = %v, want 1s", d.Period)
+	}
+	if d.ActiveFor != 100*time.Millisecond {
+		t.Errorf("active = %v, want 100ms", d.ActiveFor)
+	}
+	// A measured duty cycle is always valid input to AveragePowerW.
+	b := Budget{ActiveCurrentA: 0.002, SleepCurrentA: 2e-6, SupplyV: 3}
+	p, err := b.AveragePowerW(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.1*b.ActivePowerW() + 0.9*b.SleepPowerW()
+	if math.Abs(p-want) > 1e-12 {
+		t.Errorf("average power = %v, want %v", p, want)
+	}
+	// All-sleep and all-active edges stay in range.
+	for _, d := range []DutyCycle{MeasuredDuty(0, 1000, 8_000_000), MeasuredDuty(1000, 0, 8_000_000)} {
+		if _, err := b.AveragePowerW(d); err != nil {
+			t.Errorf("measured duty %+v rejected: %v", d, err)
+		}
+	}
+}
+
+func TestModelSleepPricing(t *testing.T) {
+	m := STM32F072Model(8_000_000)
+	// A sleeping cycle is far cheaper than an active one (5 µA vs 2 mA).
+	if r := m.CoreJPerCycle() / m.SleepJPerCycle(); math.Abs(r-400) > 1e-6 {
+		t.Errorf("active/sleep ratio = %v, want 400", r)
+	}
+	// Sleep cycles contribute at the sleep rate, exactly.
+	b := m.Attribute(Counts{ActiveCycles: 1000, SleepCycles: 7000})
+	if b.TotalJ != m.ActiveJ(1000)+m.SleepJPerCycle()*7000 {
+		t.Errorf("mixed total %v != active + sleep components", b.TotalJ)
+	}
+}

@@ -50,6 +50,9 @@ type Result struct {
 	Output       []int8
 	Cycles       uint64
 	Instructions uint64
+	// SleepCycles is the WFI idle portion of Cycles (see
+	// device.Result.SleepCycles); zero for ordinary inference images.
+	SleepCycles uint64
 	// Telemetry is the on-device layer-marker stream for this inference
 	// (telemetry images only, see device.Result.Telemetry). Each board
 	// owns a private timer peripheral, so capture stays race-free under
@@ -162,6 +165,7 @@ func Map(img *modelimg.Image, inputs [][]int8, opts Options) ([]Result, *Stats, 
 					Output:           res.Output,
 					Cycles:           res.Cycles,
 					Instructions:     res.Instructions,
+					SleepCycles:      res.SleepCycles,
 					Telemetry:        res.Telemetry,
 					TelemetryDropped: res.TelemetryDropped,
 				}

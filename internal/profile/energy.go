@@ -1,0 +1,84 @@
+package profile
+
+import (
+	"fmt"
+
+	"github.com/neuro-c/neuroc/internal/armv6m"
+	"github.com/neuro-c/neuroc/internal/energy"
+	"github.com/neuro-c/neuroc/internal/report"
+)
+
+// Energy views: the same attribution the cycle tables render, priced by
+// an energy.Model. Per-symbol figures price the symbol's active cycles;
+// the breakdown table prices the trace's component counters. Everything
+// derives from integer cycle counts, so two traces with equal counters
+// produce bit-identical energy figures.
+
+// CountsFromTrace extracts the quantities an energy.Model prices from a
+// trace's exact counters. SRAM reads and writes fold into one access
+// count (the emulated SRAM has no read/write cost asymmetry).
+func CountsFromTrace(t *armv6m.Trace) energy.Counts {
+	return energy.Counts{
+		ActiveCycles:    t.TotalCycles() - t.SleepCycles,
+		SleepCycles:     t.SleepCycles,
+		FlashAccesses:   t.FlashAccesses,
+		SRAMAccesses:    t.SRAMReads + t.SRAMWrites,
+		FlashWaitCycles: t.FlashWaitCycles,
+	}
+}
+
+// EnergyBreakdown prices this profile's trace with m.
+func (p *Profile) EnergyBreakdown(m energy.Model) energy.Breakdown {
+	return m.Attribute(CountsFromTrace(p.Trace))
+}
+
+// EnergyTable renders the component energy breakdown: core execute
+// cycles, the optional bus-access adders, wait-state stalls, and WFI
+// sleep, with the totals row matching the model's whole-run price.
+func (p *Profile) EnergyTable(m energy.Model) *report.Table {
+	ct := CountsFromTrace(p.Trace)
+	b := m.Attribute(ct)
+	uj := func(j float64) string { return fmt.Sprintf("%.4f", j*1e6) }
+	t := report.New("Profile: energy by component", "component", "count", "energy_uj", "energy%")
+	pctJ := func(part float64) string {
+		if b.TotalJ == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%5.1f%%", 100*part/b.TotalJ)
+	}
+	t.Add("core (active cycles)", ct.ActiveCycles, uj(b.CoreJ), pctJ(b.CoreJ))
+	t.Add("flash accesses", ct.FlashAccesses, uj(b.FlashJ), pctJ(b.FlashJ))
+	t.Add("sram accesses", ct.SRAMAccesses, uj(b.SRAMJ), pctJ(b.SRAMJ))
+	t.Add("flash wait stalls", ct.FlashWaitCycles, uj(b.WaitJ), pctJ(b.WaitJ))
+	t.Add("sleep (WFI)", ct.SleepCycles, uj(b.SleepJ), pctJ(b.SleepJ))
+	t.Note = fmt.Sprintf("total: %s µJ at %.1f mW active / %.1f µW sleep (%d Hz)",
+		uj(b.TotalJ), m.Budget.ActivePowerW()*1e3, m.Budget.SleepPowerW()*1e6, m.ClockHz)
+	return t
+}
+
+// HotEnergyTable is HotTable with each symbol's active cycles priced in
+// µJ (n <= 0: all).
+func (p *Profile) HotEnergyTable(n int, m energy.Model) *report.Table {
+	return hotspotEnergyTable("Profile: energy by label", p.Flat, p.TotalCycles(), n, m)
+}
+
+// KernelEnergyTable is KernelTable with µJ alongside cycles (n <= 0:
+// all).
+func (p *Profile) KernelEnergyTable(n int, m energy.Model) *report.Table {
+	return hotspotEnergyTable("Profile: energy by kernel", p.Kernels, p.TotalCycles(), n, m)
+}
+
+func hotspotEnergyTable(title string, entries []Entry, total uint64, n int, m energy.Model) *report.Table {
+	t := report.New(title, "symbol", "instrs", "cycles", "energy_uj", "cycles%")
+	if n <= 0 || n > len(entries) {
+		n = len(entries)
+	}
+	for _, e := range entries[:n] {
+		t.Add(e.Symbol, e.Count, e.Cycles, fmt.Sprintf("%.4f", m.ActiveUJ(e.Cycles)), pct(e.Cycles, total))
+	}
+	if n < len(entries) {
+		t.Note = fmt.Sprintf("top %d of %d symbols; whole run %.4f µJ",
+			n, len(entries), m.ActiveUJ(total))
+	}
+	return t
+}

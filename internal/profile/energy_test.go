@@ -1,0 +1,85 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/neuro-c/neuroc/internal/energy"
+)
+
+func TestCountsFromTrace(t *testing.T) {
+	tr, _ := fakeTrace()
+	tr.SleepCycles = 40
+	tr.ExceptionEntryCycles = 16
+	tr.FlashAccesses = 100
+	tr.SRAMReads = 30
+	tr.SRAMWrites = 20
+	tr.FlashWaitCycles = 7
+	ct := CountsFromTrace(tr)
+	// Active = class cycles (4 classes × 2) + exception entry, sleep
+	// held apart.
+	if want := uint64(4*2 + 16); ct.ActiveCycles != want {
+		t.Errorf("active = %d, want %d", ct.ActiveCycles, want)
+	}
+	if ct.SleepCycles != 40 {
+		t.Errorf("sleep = %d, want 40", ct.SleepCycles)
+	}
+	if ct.FlashAccesses != 100 || ct.SRAMAccesses != 50 || ct.FlashWaitCycles != 7 {
+		t.Errorf("bus counts = %+v", ct)
+	}
+	// Active + sleep is the trace's full accounting.
+	if ct.ActiveCycles+ct.SleepCycles != tr.TotalCycles() {
+		t.Errorf("active %d + sleep %d != trace total %d",
+			ct.ActiveCycles, ct.SleepCycles, tr.TotalCycles())
+	}
+}
+
+func TestEnergyTablesRender(t *testing.T) {
+	tr, syms := fakeTrace()
+	tr.SleepCycles = 100
+	p := New(tr, syms)
+	m := energy.STM32F072Model(8_000_000)
+	var b bytes.Buffer
+	p.EnergyTable(m).Fprint(&b)
+	p.HotEnergyTable(2, m).Fprint(&b)
+	p.KernelEnergyTable(0, m).Fprint(&b)
+	out := b.String()
+	for _, want := range []string{"energy by component", "sleep (WFI)", "core (active cycles)",
+		"energy by label", "energy by kernel", "k_matmul", "energy_uj"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("energy tables missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEnergyBreakdownMatchesModel(t *testing.T) {
+	tr, syms := fakeTrace()
+	p := New(tr, syms)
+	m := energy.STM32F072Model(8_000_000)
+	b := p.EnergyBreakdown(m)
+	// No sleep, zero adders: the breakdown is the paper identity over
+	// the trace's total cycles, bit-for-bit.
+	if b.TotalJ != m.ActiveJ(tr.TotalCycles()) {
+		t.Errorf("breakdown total %v != ActiveJ(%d) = %v",
+			b.TotalJ, tr.TotalCycles(), m.ActiveJ(tr.TotalCycles()))
+	}
+}
+
+// The class table gains a sleep row only when the trace slept.
+func TestClassTableSleepRow(t *testing.T) {
+	tr, syms := fakeTrace()
+	p := New(tr, syms)
+	var b bytes.Buffer
+	p.ClassTable().Fprint(&b)
+	if strings.Contains(b.String(), "sleep") {
+		t.Error("sleep row rendered for a sleepless trace")
+	}
+	tr.SleepCycles = 123
+	p2 := New(tr, syms)
+	b.Reset()
+	p2.ClassTable().Fprint(&b)
+	if !strings.Contains(b.String(), "sleep (WFI)") {
+		t.Errorf("sleep row missing:\n%s", b.String())
+	}
+}

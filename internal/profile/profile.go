@@ -198,6 +198,9 @@ func (p *Profile) ClassTable() *report.Table {
 	if tr.ExceptionEntries > 0 || tr.ExceptionEntryCycles > 0 {
 		t.Add("exception entry", tr.ExceptionEntries, tr.ExceptionEntryCycles, pct(tr.ExceptionEntryCycles, total), "-")
 	}
+	if tr.SleepCycles > 0 {
+		t.Add("sleep (WFI)", 0, tr.SleepCycles, pct(tr.SleepCycles, total), "-")
+	}
 	t.Note = fmt.Sprintf("total: %d instructions, %d cycles, CPI %s; branches %d taken / %d not taken",
 		tr.TotalInstructions(), total, report.Float(tr.CPI()), tr.BranchTaken, tr.BranchNotTaken)
 	return t
@@ -260,6 +263,7 @@ type jsonProfile struct {
 	Schema       string         `json:"schema"`
 	Cycles       uint64         `json:"cycles"`
 	Instructions uint64         `json:"instructions"`
+	SleepCycles  uint64         `json:"sleep_cycles,omitempty"`
 	CPI          float64        `json:"cpi"`
 	Classes      []jsonClass    `json:"classes"`
 	Exceptions   jsonExceptions `json:"exceptions"`
@@ -299,6 +303,7 @@ func (p *Profile) WriteJSON(w io.Writer) error {
 		Schema:       "neuroc-profile/v1",
 		Cycles:       p.TotalCycles(),
 		Instructions: tr.TotalInstructions(),
+		SleepCycles:  tr.SleepCycles,
 		CPI:          tr.CPI(),
 		Exceptions:   jsonExceptions{Entries: tr.ExceptionEntries, Cycles: tr.ExceptionEntryCycles},
 		Branches:     jsonBranches{Taken: tr.BranchTaken, NotTaken: tr.BranchNotTaken},

@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"errors"
 	"testing"
+
+	"github.com/neuro-c/neuroc/internal/device"
+	"github.com/neuro-c/neuroc/internal/telemetry"
 )
 
 // smallDigits trims the digits set for fast unit tests.
@@ -226,5 +229,57 @@ func TestSaveLoadDeployment(t *testing.T) {
 	}
 	if loaded.ProgramBytes() != dep.ProgramBytes() {
 		t.Errorf("reloaded image %d != original %d", loaded.ProgramBytes(), dep.ProgramBytes())
+	}
+}
+
+// TestMeasureEnergy checks the public per-layer energy entry point: the
+// aggregate carries the neuroc-energy/v1 schema, its total is the paper
+// identity over the measured cycles (no WFI sleep in the inference
+// images, so active == total bit-for-bit), and the per-layer figures
+// price exactly the marker-corrected cycle counts MeasureLayers reports.
+func TestMeasureEnergy(t *testing.T) {
+	ds := smallDigits()
+	m := NewModel(ModelSpec{
+		InputDim: ds.Dim(), NumClasses: ds.NumClasses,
+		Hidden: []int{24}, Arch: ArchNeuroC, Seed: 5,
+	})
+	m.Train(ds, TrainOptions{Epochs: 5})
+	dep, err := m.Deploy(ds, EncodingBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs = 4
+	agg, err := dep.MeasureEnergy(ds, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Schema != telemetry.EnergySchema {
+		t.Errorf("schema = %q, want %q", agg.Schema, telemetry.EnergySchema)
+	}
+	if agg.Items != runs || len(agg.Layers) == 0 {
+		t.Fatalf("items = %d, layers = %d", agg.Items, len(agg.Layers))
+	}
+	em := device.EnergyModel()
+	if agg.SleepCycles != 0 {
+		t.Errorf("inference image slept %d cycles without a WFI", agg.SleepCycles)
+	}
+	if agg.TotalUJ != em.ActiveUJ(agg.TotalCycles) {
+		t.Errorf("batch energy %v != ActiveUJ(%d) = %v (paper identity broken)",
+			agg.TotalUJ, agg.TotalCycles, em.ActiveUJ(agg.TotalCycles))
+	}
+	if agg.MeanUJ != agg.TotalUJ/runs {
+		t.Errorf("mean %v != total %v / %d", agg.MeanUJ, agg.TotalUJ, runs)
+	}
+	stats, err := dep.MeasureLayers(ds, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != len(agg.Layers) {
+		t.Fatalf("MeasureLayers has %d layers, MeasureEnergy %d", len(stats), len(agg.Layers))
+	}
+	for i := range stats {
+		if agg.Layers[i].TotalUJ != em.ActiveUJ(stats[i].Total) {
+			t.Errorf("layer %d: energy %v != ActiveUJ(%d)", i, agg.Layers[i].TotalUJ, stats[i].Total)
+		}
 	}
 }

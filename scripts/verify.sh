@@ -46,11 +46,22 @@ go run ./cmd/metricscheck bench_quick.json
 
 echo "== metrics regression gate (deterministic keys vs committed baseline)"
 # Every emulator-computed key (cycle counts, instructions, accuracy,
-# footprints, per-layer telemetry cycles) must match BENCH_BASELINE.json
-# EXACTLY — the emulator is deterministic, so any drift is a real
-# behavior change. Wall-clock keys are ignored at tolerance 0. After an
-# intentional cycle-model or codegen change, regenerate the baseline
-# with the bench-smoke command above and commit it with the change.
-go run ./cmd/metricscheck -compare BENCH_BASELINE.json bench_quick.json
+# footprints, per-layer telemetry cycles, and the energy keys priced
+# from them) must match BENCH_BASELINE.json EXACTLY — the emulator is
+# deterministic and the energy model is a fixed calibration, so any
+# drift is a real behavior change. Wall-clock keys are ignored at
+# tolerance 0. After an intentional cycle-model, codegen, or energy-
+# calibration change, regenerate the baseline with the bench-smoke
+# command above and commit it with the change.
+# The verdict is captured to metricscheck_compare.txt so CI can upload
+# it as an artifact even when the gate fails. Deliberately not a pipe
+# into tee: under set -e that would gate on tee's exit status, not
+# metricscheck's.
+if go run ./cmd/metricscheck -compare BENCH_BASELINE.json bench_quick.json > metricscheck_compare.txt 2>&1; then
+	cat metricscheck_compare.txt
+else
+	cat metricscheck_compare.txt
+	exit 1
+fi
 
 echo "verify: ok"
