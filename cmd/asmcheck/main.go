@@ -8,6 +8,8 @@
 //	asmcheck -strict -json kernel.s   # machine-readable report
 //	cat kernel.s | asmcheck -         # read from stdin
 //	asmcheck -kernels                 # verify every generated kernel variant
+//	asmcheck -cert kernel.s           # emit the neuroc-cert/v1 certificate
+//	asmcheck -kernels -cert           # certificates for every variant
 package main
 
 import (
@@ -28,6 +30,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
 	strict := flag.Bool("strict", false, "require every store address to be proven safe")
 	allKernels := flag.Bool("kernels", false, "check every generated kernel variant instead of reading a file")
+	emitCert := flag.Bool("cert", false, "emit a neuroc-cert/v1 certificate instead of the report (implies -strict)")
 	roots := flag.String("roots", "entry", "comma-separated entry symbols")
 	isrs := flag.String("isrs", "", "comma-separated exception-handler symbols")
 	base := flag.String("base", "0x08000000", "load address for the assembled program")
@@ -36,6 +39,9 @@ func main() {
 	flag.Parse()
 
 	if *allKernels {
+		if *emitCert {
+			os.Exit(certKernels())
+		}
 		os.Exit(checkKernels(*jsonOut))
 	}
 	if flag.NArg() != 1 {
@@ -63,6 +69,23 @@ func main() {
 	cfg.FlashWaitStates = *ws
 	cfg.Roots = splitList(*roots)
 	cfg.ISRRoots = splitList(*isrs)
+	if *emitCert {
+		// Certification refuses unsound inputs, so it subsumes -strict.
+		cfg.Strict = true
+		crt, rep, err := asmcheck.Certify(p, cfg)
+		if err != nil {
+			if rep != nil {
+				printReport(name, rep, *jsonOut)
+			}
+			fatal(err)
+		}
+		out, err := crt.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(append(out, '\n'))
+		return
+	}
 	rep, err := asmcheck.Check(p, cfg)
 	if err != nil {
 		fatal(err)
@@ -71,6 +94,44 @@ func main() {
 	if !rep.OK() {
 		os.Exit(1)
 	}
+}
+
+// certKernels certifies every generated kernel variant's harness and
+// prints one neuroc-cert/v1 JSON document per variant.
+func certKernels() int {
+	bad := 0
+	for _, v := range kernels.Variants() {
+		p, err := thumb.Assemble(v.Harness, armv6m.FlashBase)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: harness does not assemble: %v\n", v.Name, err)
+			bad++
+			continue
+		}
+		cfg := asmcheck.DefaultConfig()
+		cfg.Strict = true
+		cfg.StackBudget = 1024
+		if desc, err := p.Symbol("desc"); err == nil {
+			cfg.CodeLimit = desc
+		}
+		crt, _, err := asmcheck.Certify(p, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", v.Name, err)
+			bad++
+			continue
+		}
+		out, err := crt.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", v.Name, err)
+			bad++
+			continue
+		}
+		os.Stdout.Write(append(out, '\n'))
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "asmcheck: %d kernel variant(s) failed to certify\n", bad)
+		return 1
+	}
+	return 0
 }
 
 // checkKernels runs the strict analysis over every generated kernel

@@ -30,6 +30,15 @@
 //
 //	m0run -model model.ncq1 -batch inputs.raw -j 8
 //	m0run -model model.ncq1 -batch inputs.raw -energy   # batch µJ aggregate
+//
+// Checked execution (see docs/ASMCHECK.md): -checked validates every
+// retired instruction against the neuroc-cert/v1 certificate attached
+// to the image at build time — certified control-flow edges, memory
+// classes, per-block cycle formulas, loop bounds — and fails loudly on
+// the first mismatch. Works for single runs and -batch:
+//
+//	m0run -model model.ncq1 -checked
+//	m0run -model model.ncq1 -batch inputs.raw -checked
 package main
 
 import (
@@ -45,6 +54,7 @@ import (
 	"time"
 
 	"github.com/neuro-c/neuroc/internal/armv6m"
+	"github.com/neuro-c/neuroc/internal/cert"
 	"github.com/neuro-c/neuroc/internal/device"
 	"github.com/neuro-c/neuroc/internal/farm"
 	"github.com/neuro-c/neuroc/internal/modelimg"
@@ -63,6 +73,7 @@ func main() {
 	dumpLen := flag.Int("dump-len", 16, "bytes to dump")
 	maxInstr := flag.Uint64("max-instr", 500_000_000, "instruction budget before giving up")
 	ws := flag.Int("flash-ws", 0, "flash wait states (0 at 8 MHz, 1 above 24 MHz)")
+	checked := flag.Bool("checked", false, "certificate-checked execution: validate every retired instruction against the image's neuroc-cert/v1 certificate (requires -model)")
 	prof := flag.Bool("profile", false, "attribute cycles per PC/class/region and print hotspot tables")
 	top := flag.Int("top", 10, "rows in the -profile hotspot tables")
 	traceN := flag.Uint64("trace", 0, "print the first N executed instructions to stderr")
@@ -94,6 +105,9 @@ func main() {
 	}
 	if *energyJSON != "" && !*energyRep {
 		fatal(fmt.Errorf("-energy-json requires -energy"))
+	}
+	if *checked && *model == "" {
+		fatal(fmt.Errorf("-checked requires -model: the certificate is produced when the image is built"))
 	}
 	if *batch != "" {
 		if conflicts := batchFlagConflicts(*prof, *traceN, *folded, *profJSON, *in, *dumpAddr); len(conflicts) != 0 {
@@ -138,7 +152,7 @@ func main() {
 		if image == nil {
 			fatal(fmt.Errorf("-batch requires -model (the input record size is the model's input dimension)"))
 		}
-		runBatch(image, *batch, *workers, *maxInstr, *ws, *energyRep, *energyJSON)
+		runBatch(image, *batch, *workers, *maxInstr, *ws, *checked, *energyRep, *energyJSON)
 		return
 	}
 
@@ -153,8 +167,17 @@ func main() {
 
 	profiling := *prof || *traceN > 0 || *folded != "" || *profJSON != ""
 	var trace *armv6m.Trace
-	if profiling {
+	if profiling || *checked {
 		trace = cpu.EnableTrace()
+	}
+	var chk *cert.Checker
+	if *checked {
+		var err error
+		chk, err = cert.NewChecker(image.Cert, cpu)
+		if err != nil {
+			fatal(err)
+		}
+		chk.Attach(trace)
 	}
 	if *traceN > 0 {
 		var printed uint64
@@ -197,6 +220,11 @@ func main() {
 		fatal(err)
 	}
 	if err := cpu.Run(*maxInstr); err != nil {
+		// A certificate mismatch explains most checked-mode failures
+		// better than the downstream fault it can cause; prefer it.
+		if chk != nil && chk.Err() != nil {
+			fatal(fmt.Errorf("checked execution: %w", chk.Err()))
+		}
 		var budget *armv6m.BudgetError
 		if errors.As(err, &budget) {
 			fmt.Fprintf(os.Stderr, "m0run: instruction budget exhausted: "+
@@ -208,6 +236,13 @@ func main() {
 		fatal(err)
 	}
 
+	if chk != nil {
+		if err := chk.Finish(); err != nil {
+			fatal(fmt.Errorf("checked execution: %w", err))
+		}
+		fmt.Printf("checked: every retired instruction matched the certificate (%d certified cycles)\n",
+			chk.CertifiedCycles())
+	}
 	fmt.Printf("halted: BKPT #%d after %d instructions, %d cycles (CPI %.3f, %.3f ms @ 8 MHz)\n",
 		cpu.HaltCode, cpu.Instructions, cpu.Cycles,
 		float64(cpu.Cycles)/float64(cpu.Instructions), device.CyclesToMS(cpu.Cycles))
@@ -343,7 +378,7 @@ func batchFlagConflicts(prof bool, traceN uint64, folded, profJSON, in, dumpAddr
 // per-input predictions, cycle counts, and aggregate statistics. A
 // budget-exhausted or faulting input exits non-zero after the whole
 // batch is reported (one bad input never hides the others).
-func runBatch(image *modelimg.Image, path string, workers int, maxInstr uint64, ws int, energyRep bool, energyJSON string) {
+func runBatch(image *modelimg.Image, path string, workers int, maxInstr uint64, ws int, checked, energyRep bool, energyJSON string) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fatal(err)
@@ -364,6 +399,7 @@ func runBatch(image *modelimg.Image, path string, workers int, maxInstr uint64, 
 	results, stats, batchErr := farm.Map(image, inputs, farm.Options{
 		Workers: workers,
 		Budget:  maxInstr,
+		Checked: checked,
 		Configure: func(d *device.Device) {
 			d.CPU.Bus.FlashWaitStates = ws
 		},

@@ -1,0 +1,462 @@
+// Command neurolint is the repo's own static-analysis gate: a small
+// stdlib-only multichecker (go/ast + go/types, no external analysis
+// framework) enforcing the invariants that keep the emulated
+// measurements deterministic and the published artifacts stable.
+//
+// Checks:
+//
+//   - nondet: no time.Now/Since/Until and no math/rand in the
+//     deterministic packages (armv6m, kernels, asmcheck, telemetry,
+//     energy). Cycle counts are the experiment's ground truth; host
+//     wall-clock or host randomness leaking into them would make runs
+//     irreproducible.
+//   - maporder: no iteration over a Go map in the packages that emit
+//     neuroc-*/v1 JSON artifacts or report tables. Map order is
+//     randomized per process, so a range-over-map feeding an encoder
+//     or table writer emits differently ordered output on every run.
+//   - panics: no panic() in the measurement-pipeline library packages;
+//     failures there must surface as returned errors so a harness can
+//     report them per item instead of dying.
+//   - cycleint: cycle arithmetic stays uint64 — no conversion of a
+//     cycle-carrying uint64 expression to a narrower integer type,
+//     which would silently truncate long runs.
+//
+// A finding is suppressed by a "//neurolint:allow <check>" comment on
+// the same or the preceding line; use it to record why the exception
+// is sound (e.g. host-side timing that never feeds emulated state).
+//
+//	neurolint            # lint the default package set
+//	neurolint ./...      # lint every package under the current module
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Scopes: which checks apply to which packages (keyed by the package's
+// path relative to the module root).
+var (
+	// deterministicPkgs hold emulated state or produce cycle-exact
+	// facts; host nondeterminism is banned outright.
+	deterministicPkgs = set(
+		"internal/armv6m", "internal/kernels", "internal/asmcheck",
+		"internal/telemetry", "internal/energy",
+	)
+	// artifactPkgs emit neuroc-*/v1 JSON or report tables whose byte
+	// stability the regression gates depend on.
+	artifactPkgs = set(
+		"internal/asmcheck", "internal/cert", "internal/telemetry",
+		"internal/energy", "internal/report", "internal/profile",
+	)
+	// pipelinePkgs are the measurement-pipeline libraries where a panic
+	// would take down a whole batch instead of failing one item.
+	pipelinePkgs = set(
+		"internal/armv6m", "internal/kernels", "internal/asmcheck",
+		"internal/cert", "internal/telemetry", "internal/energy",
+		"internal/modelimg", "internal/device", "internal/farm",
+		"internal/report", "internal/profile",
+	)
+	// cycleintPkgs is where cycle counts live and flow.
+	cycleintPkgs = set(
+		"internal/armv6m", "internal/kernels", "internal/asmcheck",
+		"internal/cert", "internal/telemetry", "internal/energy",
+		"internal/device", "internal/farm",
+	)
+)
+
+func set(ss ...string) map[string]bool {
+	m := make(map[string]bool, len(ss))
+	for _, s := range ss {
+		m[s] = true
+	}
+	return m
+}
+
+type finding struct {
+	pos   token.Position
+	check string
+	msg   string
+}
+
+type linter struct {
+	fset     *token.FileSet
+	root     string // module root directory
+	modPath  string // module path from go.mod
+	cache    map[string]*pkgInfo
+	std      types.Importer
+	findings []finding
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: neurolint [package-dir ...]   (default: all module packages)")
+	}
+	flag.Parse()
+
+	root, modPath, err := moduleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	l := &linter{
+		fset:    token.NewFileSet(),
+		root:    root,
+		modPath: modPath,
+		cache:   map[string]*pkgInfo{},
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+
+	dirs := flag.Args()
+	if len(dirs) == 0 || (len(dirs) == 1 && dirs[0] == "./...") {
+		dirs, err = l.allPackageDirs()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	for _, dir := range dirs {
+		if err := l.lintDir(dir); err != nil {
+			fatal(err)
+		}
+	}
+
+	sort.Slice(l.findings, func(i, j int) bool {
+		a, b := l.findings[i].pos, l.findings[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	for _, f := range l.findings {
+		fmt.Printf("%s: [%s] %s\n", f.pos, f.check, f.msg)
+	}
+	if n := len(l.findings); n > 0 {
+		fmt.Fprintf(os.Stderr, "neurolint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// moduleRoot locates go.mod upward from the working directory and
+// reads the module path.
+func moduleRoot() (dir, modPath string, err error) {
+	dir, err = os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		b, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(b), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("neurolint: no module line in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("neurolint: no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// allPackageDirs walks the module for directories containing non-test
+// Go files.
+func (l *linter) allPackageDirs() ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if strings.HasPrefix(name, ".") && path != l.root || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// relPkg returns dir's path relative to the module root ("" for the
+// root itself).
+func (l *linter) relPkg(dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return dir
+	}
+	rel, err := filepath.Rel(l.root, abs)
+	if err != nil || rel == "." {
+		return ""
+	}
+	return filepath.ToSlash(rel)
+}
+
+// Import implements types.Importer over the module: module-local paths
+// load from the repo, everything else from GOROOT source.
+func (l *linter) Import(path string) (*types.Package, error) {
+	if rest, ok := strings.CutPrefix(path, l.modPath); ok {
+		dir := filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(rest, "/")))
+		info, err := l.typeCheck(dir)
+		if err != nil {
+			return nil, err
+		}
+		return info.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// typeCheck parses and type-checks the package in dir (once; cached),
+// returning the package with its syntax and type information.
+func (l *linter) typeCheck(dir string) (*pkgInfo, error) {
+	importPath := l.modPath
+	if rel := l.relPkg(dir); rel != "" {
+		importPath += "/" + rel
+	}
+	if info, ok := l.cache[importPath]; ok {
+		return info, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("neurolint: no Go files in %s", dir)
+	}
+	info := &pkgInfo{
+		files: files,
+		types: &types.Info{
+			Types: map[ast.Expr]types.TypeAndValue{},
+			Uses:  map[*ast.Ident]types.Object{},
+			Defs:  map[*ast.Ident]types.Object{},
+		},
+	}
+	conf := types.Config{Importer: l}
+	info.pkg, err = conf.Check(importPath, l.fset, files, info.types)
+	if err != nil {
+		return nil, fmt.Errorf("neurolint: type-checking %s: %w", dir, err)
+	}
+	l.cache[importPath] = info
+	return info, nil
+}
+
+type pkgInfo struct {
+	pkg   *types.Package
+	files []*ast.File
+	types *types.Info
+}
+
+// lintDir type-checks one package directory and runs every check whose
+// scope includes it.
+func (l *linter) lintDir(dir string) error {
+	rel := l.relPkg(dir)
+	if !deterministicPkgs[rel] && !artifactPkgs[rel] && !pipelinePkgs[rel] && !cycleintPkgs[rel] {
+		return nil // out of every scope; skip the type-check entirely
+	}
+	info, err := l.typeCheck(dir)
+	if err != nil {
+		return err
+	}
+	for _, f := range info.files {
+		allowed := allowLines(l.fset, f)
+		if deterministicPkgs[rel] {
+			l.checkNondet(f, info, allowed)
+		}
+		if artifactPkgs[rel] {
+			l.checkMapOrder(f, info, allowed)
+		}
+		if pipelinePkgs[rel] {
+			l.checkPanics(f, info, allowed)
+		}
+		if cycleintPkgs[rel] {
+			l.checkCycleInt(f, info, allowed)
+		}
+	}
+	return nil
+}
+
+// allowLines maps line numbers to the set of checks a
+// "//neurolint:allow <check>" comment on that line suppresses.
+func allowLines(fset *token.FileSet, f *ast.File) map[int]map[string]bool {
+	out := map[int]map[string]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+			idx := strings.Index(text, "neurolint:allow")
+			if idx < 0 {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			for _, check := range strings.Fields(text[idx+len("neurolint:allow"):]) {
+				for _, ln := range []int{line, line + 1} {
+					if out[ln] == nil {
+						out[ln] = map[string]bool{}
+					}
+					out[ln][check] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (l *linter) report(allowed map[int]map[string]bool, pos token.Pos, check, format string, args ...any) {
+	p := l.fset.Position(pos)
+	if allowed[p.Line][check] {
+		return
+	}
+	l.findings = append(l.findings, finding{pos: p, check: check, msg: fmt.Sprintf(format, args...)})
+}
+
+// checkNondet flags wall-clock reads and math/rand use.
+func (l *linter) checkNondet(f *ast.File, info *pkgInfo, allowed map[int]map[string]bool) {
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		if path == "math/rand" || path == "math/rand/v2" {
+			l.report(allowed, imp.Pos(), "nondet",
+				"deterministic package imports %s: host randomness must not shape emulated state", path)
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := info.types.Uses[id].(*types.PkgName)
+		if !ok || pn.Imported().Path() != "time" {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Now", "Since", "Until":
+			l.report(allowed, sel.Pos(), "nondet",
+				"deterministic package reads the host clock (time.%s)", sel.Sel.Name)
+		}
+		return true
+	})
+}
+
+// checkMapOrder flags range statements over map-typed expressions.
+func (l *linter) checkMapOrder(f *ast.File, info *pkgInfo, allowed map[int]map[string]bool) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := info.types.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+			l.report(allowed, rs.Pos(), "maporder",
+				"map iteration in an artifact-emitting package: order is randomized per process; iterate a sorted key slice")
+		}
+		return true
+	})
+}
+
+// checkPanics flags calls to the builtin panic.
+func (l *linter) checkPanics(f *ast.File, info *pkgInfo, allowed map[int]map[string]bool) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "panic" {
+			return true
+		}
+		if b, ok := info.types.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+			return true
+		}
+		l.report(allowed, call.Pos(), "panics",
+			"panic in a measurement-pipeline library: return an error so the harness can fail one item, not the batch")
+		return true
+	})
+}
+
+// checkCycleInt flags conversions of cycle-carrying uint64 expressions
+// to narrower integer types (anything below 64 bits).
+func (l *linter) checkCycleInt(f *ast.File, info *pkgInfo, allowed map[int]map[string]bool) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		tv, ok := info.types.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return true
+		}
+		dst, ok := tv.Type.Underlying().(*types.Basic)
+		if !ok || dst.Info()&types.IsInteger == 0 {
+			return true
+		}
+		switch dst.Kind() {
+		case types.Uint64, types.Int64, types.Uintptr:
+			return true // same width: no truncation
+		}
+		argTV, ok := info.types.Types[call.Args[0]]
+		if !ok {
+			return true
+		}
+		src, ok := argTV.Type.Underlying().(*types.Basic)
+		if !ok || src.Kind() != types.Uint64 {
+			return true
+		}
+		if !mentionsCycles(l.fset, call.Args[0]) {
+			return true
+		}
+		l.report(allowed, call.Pos(), "cycleint",
+			"cycle count narrowed to %s: cycle arithmetic stays uint64 end to end", dst.Name())
+		return true
+	})
+}
+
+// mentionsCycles reports whether the expression's source names a cycle
+// quantity — the heuristic that keeps cycleint focused on counters
+// rather than every uint64 in the tree.
+func mentionsCycles(fset *token.FileSet, e ast.Expr) bool {
+	var sb strings.Builder
+	if err := printer.Fprint(&sb, fset, e); err != nil {
+		return false
+	}
+	return strings.Contains(strings.ToLower(sb.String()), "cycle")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "neurolint:", err)
+	os.Exit(2)
+}

@@ -136,7 +136,7 @@ func (t *PredecodeTable) BuildTime() time.Duration { return t.build }
 // CPU-attached table automatically, and shared-flash buses reject
 // LoadFlash outright.
 func Predecode(flash []byte, limit int) *PredecodeTable {
-	start := time.Now()
+	start := time.Now() //neurolint:allow nondet (host-side predecode build timing; never feeds emulated state)
 	if limit <= 0 || limit > len(flash) {
 		limit = len(flash)
 	}
@@ -150,7 +150,7 @@ func Predecode(flash []byte, limit int) *PredecodeTable {
 		}
 		t.entries[i] = predecode1(FlashBase+uint32(2*i), op, lo, loOK)
 	}
-	t.build = time.Since(start)
+	t.build = time.Since(start) //neurolint:allow nondet (host-side predecode build timing; never feeds emulated state)
 	return t
 }
 

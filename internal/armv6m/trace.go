@@ -56,6 +56,14 @@ type InstrInfo struct {
 	Cycles uint64 // total cost charged for this instruction (incl. Sleep)
 	Sleep  uint64 // WFI sleep portion of Cycles (0 for everything else)
 	Taken  bool   // branch redirected the PC
+
+	// Bus-counter deltas for this retire (the fetch included), so a
+	// consumer can classify the instruction's memory traffic without
+	// seeing addresses. Checked execution (internal/cert) validates
+	// these against the certified memory classes.
+	FlashReads uint64
+	SRAMReads  uint64
+	SRAMWrites uint64
 }
 
 // Trace accumulates per-run attribution counters. Attach with
@@ -188,9 +196,11 @@ func (t *Trace) record(c *CPU, addr, op uint32, cycles uint64, fr, sr, sw, sleep
 		}
 	}
 	flash := c.Bus.FlashReads - fr
+	sramR := c.Bus.SRAMReads - sr
+	sramW := c.Bus.SRAMWrites - sw
 	t.FlashAccesses += flash
-	t.SRAMReads += c.Bus.SRAMReads - sr
-	t.SRAMWrites += c.Bus.SRAMWrites - sw
+	t.SRAMReads += sramR
+	t.SRAMWrites += sramW
 	t.FlashWaitCycles += flash * uint64(c.Bus.FlashWaitStates)
 	s := t.PCs[addr]
 	if s == nil {
@@ -200,7 +210,11 @@ func (t *Trace) record(c *CPU, addr, op uint32, cycles uint64, fr, sr, sw, sleep
 	s.Count++
 	s.Cycles += cycles - sleep
 	if t.OnInstr != nil {
-		t.OnInstr(InstrInfo{Addr: addr, Op: uint16(op), Class: cl, Cycles: cycles, Sleep: sleep, Taken: taken})
+		t.OnInstr(InstrInfo{
+			Addr: addr, Op: uint16(op), Class: cl,
+			Cycles: cycles, Sleep: sleep, Taken: taken,
+			FlashReads: flash, SRAMReads: sramR, SRAMWrites: sramW,
+		})
 	}
 }
 

@@ -296,18 +296,20 @@ func (st *state) operand(r int8) absval {
 }
 
 // checkMem validates one memory access of the given width. Returns the
-// region when provable.
+// region when provable, and records the classification into ck.mems
+// (the certificate's per-access facts).
 func (ck *checker) checkMem(f *fn, ci *ctxInfo, in *instr, addr absval, width int, store bool) regionID {
 	verb := "load"
 	if store {
 		verb = "store"
 	}
+	var r regionID
 	switch addr.k {
 	case vConst:
-		r := ck.region(addr.c)
+		r = ck.region(addr.c)
 		if r == regionNone {
 			ck.violate(CodeMemUnmapped, f, in.Addr, "%s targets 0x%08x, outside flash and SRAM", verb, addr.c)
-			return r
+			break
 		}
 		if addr.c%uint32(width) != 0 {
 			ck.violate(CodeMemUnaligned, f, in.Addr, "%d-byte %s at misaligned address 0x%08x", width, verb, addr.c)
@@ -318,22 +320,43 @@ func (ck *checker) checkMem(f *fn, ci *ctxInfo, in *instr, addr absval, width in
 		if store && r == regionFlash {
 			ck.violate(CodeMemWriteFlash, f, in.Addr, "store to flash address 0x%08x", addr.c)
 		}
-		return r
 	case vPtr:
 		if store && addr.r == regionFlash {
 			ck.violate(CodeMemWriteFlash, f, in.Addr, "store through a flash-derived pointer")
 		}
-		return addr.r
+		r = addr.r
 	default:
 		if store {
 			if ck.cfg.Strict {
 				ck.violate(CodeMemUnproven, f, in.Addr, "store address cannot be proven safe (value unknown at this point)")
 			}
+		} else if hinted := annotatedRegion(in.LoadRegion); hinted != regionNone {
+			// The kernel author declared the region ("asmcheck: load").
+			// The claim is trusted here but not blindly: checked
+			// execution re-verifies it on every run through the
+			// per-retire bus-counter deltas, so a wrong annotation
+			// fails loudly the first time the load executes. Stores
+			// never take this path — write safety stays proven.
+			r = hinted
 		} else {
 			ck.unprovenLoads++
 		}
-		return regionNone
 	}
+	ck.noteMem(in.Addr, r, store)
+	return r
+}
+
+// annotatedRegion maps an "asmcheck: load" annotation to its region.
+func annotatedRegion(s string) regionID {
+	switch s {
+	case "flash":
+		return regionFlash
+	case "sram":
+		return regionSRAM
+	case "periph":
+		return regionPeriph
+	}
+	return regionNone
 }
 
 // loadValue models the result of a load: flash-resident constants (the

@@ -171,6 +171,17 @@ func (r *Report) Func(name string) *FuncReport {
 // to completion, accumulating violations; the error return is reserved
 // for programs that cannot be analyzed at all (no resolvable roots).
 func Check(p *thumb.Program, cfg Config) (*Report, error) {
+	ck, rootAddrs, isrAddrs, err := run(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return ck.report(rootAddrs, isrAddrs), nil
+}
+
+// run is the shared analysis pipeline behind Check and Certify:
+// config defaulting, root resolution, CFG discovery, and the
+// context-sensitive abstract interpretation.
+func run(p *thumb.Program, cfg Config) (*checker, []uint32, []uint32, error) {
 	if cfg.FlashSize == 0 && cfg.SRAMSize == 0 {
 		d := DefaultConfig()
 		cfg.FlashBase, cfg.FlashSize = d.FlashBase, d.FlashSize
@@ -189,7 +200,7 @@ func Check(p *thumb.Program, cfg Config) (*Report, error) {
 		if _, ok := p.Symbols["entry"]; ok {
 			cfg.Roots = []string{"entry"}
 		} else {
-			return nil, fmt.Errorf("asmcheck: no roots given and no \"entry\" symbol")
+			return nil, nil, nil, fmt.Errorf("asmcheck: no roots given and no \"entry\" symbol")
 		}
 	}
 	ck := &checker{
@@ -198,26 +209,27 @@ func Check(p *thumb.Program, cfg Config) (*Report, error) {
 		funcs: make(map[uint32]*fn),
 		vseen: make(map[string]bool),
 		ctxs:  make(map[ctxKey]*ctxInfo),
+		mems:  make(map[uint32]*memFact),
 	}
 	var rootAddrs, isrAddrs []uint32
 	for _, name := range cfg.Roots {
 		a, err := p.Symbol(name)
 		if err != nil {
-			return nil, fmt.Errorf("asmcheck: root %q: %w", name, err)
+			return nil, nil, nil, fmt.Errorf("asmcheck: root %q: %w", name, err)
 		}
 		rootAddrs = append(rootAddrs, a)
 	}
 	for _, name := range cfg.ISRRoots {
 		a, err := p.Symbol(name)
 		if err != nil {
-			return nil, fmt.Errorf("asmcheck: isr root %q: %w", name, err)
+			return nil, nil, nil, fmt.Errorf("asmcheck: isr root %q: %w", name, err)
 		}
 		isrAddrs = append(isrAddrs, a)
 	}
 	ck.discover(append(append([]uint32{}, rootAddrs...), isrAddrs...))
 	ck.crossFunctionEdges()
 	ck.analyzeContexts(rootAddrs, isrAddrs)
-	return ck.report(rootAddrs, isrAddrs), nil
+	return ck, rootAddrs, isrAddrs, nil
 }
 
 // checker carries the whole-program analysis state.
@@ -235,14 +247,56 @@ type checker struct {
 	ctxOrder []ctxKey
 
 	unprovenLoads int
+
+	// mems accumulates per-instruction memory classification across all
+	// analyzed contexts (the certificate's per-access facts).
+	mems map[uint32]*memFact
 }
 
-// funcName resolves a function start address to a symbol name.
+// memFact is the joined memory classification of one load/store site
+// over every context that reached it.
+type memFact struct {
+	region   regionID
+	store    bool
+	seen     bool // at least one context classified the site
+	unproven bool // some context failed to prove the region, or regions conflict
+}
+
+// noteMem joins one context's classification of a load/store site into
+// the whole-program fact.
+func (ck *checker) noteMem(addr uint32, r regionID, store bool) {
+	m := ck.mems[addr]
+	if m == nil {
+		m = &memFact{}
+		ck.mems[addr] = m
+	}
+	if store {
+		m.store = true
+	}
+	if r == regionNone {
+		m.unproven = true
+		return
+	}
+	if m.seen && m.region != r {
+		m.unproven = true
+		return
+	}
+	m.region = r
+	m.seen = true
+}
+
+// funcName resolves a function start address to a symbol name. When
+// several symbols alias the address, the lexicographically smallest
+// wins, so the choice is deterministic across runs (Symbols is a map).
 func (ck *checker) funcName(addr uint32) string {
-	for name, a := range ck.p.Symbols {
-		if a == addr {
-			return name
+	best := ""
+	for name, a := range ck.p.Symbols { //neurolint:allow maporder (lexicographic min is order-insensitive)
+		if a == addr && (best == "" || name < best) {
+			best = name
 		}
+	}
+	if best != "" {
+		return best
 	}
 	return fmt.Sprintf("func_0x%08x", addr)
 }

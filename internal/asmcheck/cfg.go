@@ -15,8 +15,9 @@ import (
 
 type instr struct {
 	armv6m.Instr
-	Line      int
-	LoopBound int
+	Line       int
+	LoopBound  int
+	LoadRegion string // "asmcheck: load" annotation ("" when absent)
 }
 
 type block struct {
@@ -54,6 +55,7 @@ func (ck *checker) decodeAt(addr uint32) (instr, bool) {
 	if m, ok := ck.p.InstrAt(addr); ok {
 		in.Line = m.Line
 		in.LoopBound = m.LoopBound
+		in.LoadRegion = m.LoadRegion
 	}
 	return in, true
 }
@@ -167,7 +169,7 @@ func (ck *checker) buildFn(addr uint32) *fn {
 	}
 
 	addrs := make([]uint32, 0, len(decoded))
-	for a := range decoded {
+	for a := range decoded { //neurolint:allow maporder (keys sorted below)
 		addrs = append(addrs, a)
 	}
 	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })

@@ -160,7 +160,7 @@ func (ck *checker) fnWCET(f *fn, siteCost map[uint32]uint64) uint64 {
 	// innermostLoop: the smallest loop containing each block.
 	innermost := make(map[*block]*loopInfo)
 	for _, l := range loops {
-		for b := range l.blocks {
+		for b := range l.blocks { //neurolint:allow maporder (per-block min over loop sizes; order-insensitive)
 			if cur := innermost[b]; cur == nil || len(l.blocks) < len(cur.blocks) {
 				innermost[b] = l
 			}
@@ -204,8 +204,9 @@ func (ck *checker) fnWCET(f *fn, siteCost map[uint32]uint64) uint64 {
 	// (irreducible control flow).
 	longestPath := func(entry *node, members map[*node]bool) uint64 {
 		indeg := make(map[*node]int)
+		//neurolint:allow maporder (DAG longest-path distances are independent of visit order)
 		for n := range members {
-			for s := range n.succs {
+			for s := range n.succs { //neurolint:allow maporder (see above: result is order-insensitive)
 				if members[s] {
 					indeg[s]++
 				}
@@ -213,7 +214,7 @@ func (ck *checker) fnWCET(f *fn, siteCost map[uint32]uint64) uint64 {
 		}
 		var topo []*node
 		q := []*node{}
-		for n := range members {
+		for n := range members { //neurolint:allow maporder (see above: result is order-insensitive)
 			if indeg[n] == 0 {
 				q = append(q, n)
 			}
@@ -222,7 +223,7 @@ func (ck *checker) fnWCET(f *fn, siteCost map[uint32]uint64) uint64 {
 			n := q[0]
 			q = q[1:]
 			topo = append(topo, n)
-			for s := range n.succs {
+			for s := range n.succs { //neurolint:allow maporder (see above: result is order-insensitive)
 				if !members[s] {
 					continue
 				}
@@ -245,7 +246,7 @@ func (ck *checker) fnWCET(f *fn, siteCost map[uint32]uint64) uint64 {
 			if d > worst {
 				worst = d
 			}
-			for s := range n.succs {
+			for s := range n.succs { //neurolint:allow maporder (see above: result is order-insensitive)
 				if !members[s] {
 					continue
 				}
@@ -295,7 +296,7 @@ func (ck *checker) fnWCET(f *fn, siteCost map[uint32]uint64) uint64 {
 		n := &node{succs: make(map[*node]bool)}
 		loopMemo[l] = n
 		var body []*block
-		for b := range l.blocks {
+		for b := range l.blocks { //neurolint:allow maporder (sorted below)
 			body = append(body, b)
 		}
 		sort.Slice(body, func(i, j int) bool { return body[i].start < body[j].start })

@@ -1,0 +1,517 @@
+package cert
+
+import (
+	"fmt"
+
+	"github.com/neuro-c/neuroc/internal/armv6m"
+)
+
+// Checked execution: a Checker observes every retired instruction
+// through the trace hook (armv6m.Trace.OnInstr) and asserts that the
+// execution matches the certificate fact for fact:
+//
+//   - every retired PC is certified, and every control transfer lands
+//     on a certified edge (fall-through, branch target, call entry,
+//     matching return address, or a certified exception entry/return);
+//   - every instruction's bus-counter deltas equal the certified
+//     memory classification (a flash load moves the flash counter, an
+//     SRAM store moves the SRAM write counter, a peripheral access
+//     moves nothing);
+//   - every basic-block occurrence costs exactly its certified
+//     formula evaluated at the live wait-state setting (plus the
+//     taken-edge extra when it exits via a taken conditional branch);
+//   - no loop header executes more times per entry than its certified
+//     bound.
+//
+// The first mismatch is recorded as a *CheckError naming the block and
+// the violated fact; the checker then goes inert (its state can no
+// longer be trusted). Exception entries are charged between
+// instructions by the core, so they perturb no per-instruction fact;
+// the exception-*return* instruction carries unstacking costs outside
+// the certificate's model and is exempted, along with its block
+// occurrence, from cycle and counter checks (control flow is still
+// validated against the interrupted continuation).
+
+// MismatchKind classifies a certificate violation observed at runtime.
+type MismatchKind string
+
+// Mismatch kinds.
+const (
+	MismatchEdge        MismatchKind = "edge"         // control transfer not on a certified edge
+	MismatchMemory      MismatchKind = "memory"       // bus-counter deltas disagree with the memory class
+	MismatchBlockCycles MismatchKind = "block-cycles" // block occurrence cost != certified formula
+	MismatchInstrCycles MismatchKind = "instr-cycles" // instruction cost != certified formula
+	MismatchLoopBound   MismatchKind = "loop-bound"   // loop trips exceed the certified bound
+	MismatchUncertified MismatchKind = "uncertified"  // retired PC has no certificate fact
+	MismatchTotals      MismatchKind = "totals"       // whole-run cycle accounting does not close
+)
+
+// CheckError is the loud, typed mismatch report: which fact failed,
+// in which function and block, at which instruction.
+type CheckError struct {
+	Kind   MismatchKind
+	Func   string
+	Block  uint32 // start address of the block, 0 when not applicable
+	Addr   uint32 // instruction address, 0 when not applicable
+	Detail string
+}
+
+func (e *CheckError) Error() string {
+	loc := ""
+	if e.Func != "" {
+		loc = fmt.Sprintf(" in %s", e.Func)
+	}
+	if e.Block != 0 {
+		loc += fmt.Sprintf(" block 0x%08x", e.Block)
+	}
+	if e.Addr != 0 {
+		loc += fmt.Sprintf(" at 0x%08x", e.Addr)
+	}
+	return fmt.Sprintf("cert: %s mismatch%s: %s", e.Kind, loc, e.Detail)
+}
+
+// rblock/rfunc/rloop are the certificate compiled for O(1) retire-time
+// lookup.
+type rloop struct {
+	header  uint32
+	bound   uint64
+	members map[uint32]bool
+}
+
+type rfunc struct {
+	f     *Func
+	loops []rloop
+}
+
+type ifact struct {
+	in  *Instr
+	blk *Block
+	fn  *rfunc
+}
+
+// frame is one function invocation (or one active exception).
+type frame struct {
+	fn    *rfunc
+	exc   bool     // exception frame: resume restores the interrupted expectation
+	retTo uint32   // caller resume address for call frames
+	saved []uint32 // interrupted expectation for exception frames
+
+	cur       *Block // open block occurrence, nil before the first retire
+	acc       uint64 // active cycles accumulated in the open occurrence
+	skip      bool   // occurrence exempt from the cycle check
+	prevBlock uint32 // previously closed block in this frame (loop accounting)
+	trips     map[uint32]uint64
+}
+
+// Checker validates a run against a certificate. Create with
+// NewChecker, attach with Attach before CPU.Run, and call Finish after
+// the run; Err reports the first mismatch at any point.
+type Checker struct {
+	cert  *Certificate
+	cpu   *armv6m.CPU
+	trace *armv6m.Trace
+	ws    uint64
+
+	base  uint32
+	facts []ifact // dense, indexed by (addr-base)/2; zero in == uncertified
+
+	expect []uint32 // certified addresses the next retire may land on
+	frames []frame
+	done   bool
+
+	err error
+
+	// Accounting for the whole-run identity and for tests that
+	// recompute block-formula sums independently.
+	certSum     uint64 // Σ certified occurrence costs over checked occurrences
+	skippedAct  uint64 // Σ observed active cycles over exempted occurrences
+	blockExecs  map[uint32]uint64
+	takenExits  map[uint32]uint64
+	isrByAddr   map[uint32]*rfunc
+	funcsByAddr map[uint32]*rfunc
+}
+
+// NewChecker compiles the certificate against the core's configuration
+// (profile, multiplier, wait states). The returned checker is single-
+// use: one run, then Finish.
+func NewChecker(c *Certificate, cpu *armv6m.CPU) (*Checker, error) {
+	if err := c.CompatibleWith(cpu); err != nil {
+		return nil, err
+	}
+	if c.CodeLimit <= c.CodeBase {
+		return nil, fmt.Errorf("cert: empty code range [0x%08x, 0x%08x)", c.CodeBase, c.CodeLimit)
+	}
+	k := &Checker{
+		cert:        c,
+		cpu:         cpu,
+		ws:          uint64(cpu.Bus.FlashWaitStates),
+		base:        c.CodeBase,
+		facts:       make([]ifact, (c.CodeLimit-c.CodeBase+1)/2),
+		blockExecs:  make(map[uint32]uint64),
+		takenExits:  make(map[uint32]uint64),
+		isrByAddr:   make(map[uint32]*rfunc),
+		funcsByAddr: make(map[uint32]*rfunc),
+	}
+	for fi := range c.Funcs {
+		f := &c.Funcs[fi]
+		rf := &rfunc{f: f}
+		for _, l := range f.Loops {
+			rl := rloop{header: l.Header, bound: l.Bound, members: make(map[uint32]bool, len(l.Blocks))}
+			for _, b := range l.Blocks {
+				rl.members[b] = true
+			}
+			rf.loops = append(rf.loops, rl)
+		}
+		k.funcsByAddr[f.Addr] = rf
+		for bi := range f.Blocks {
+			blk := &f.Blocks[bi]
+			for ii := range blk.Instrs {
+				in := &blk.Instrs[ii]
+				idx, ok := k.index(in.Addr)
+				if !ok {
+					return nil, fmt.Errorf("cert: instruction 0x%08x outside code range", in.Addr)
+				}
+				if k.facts[idx].in != nil {
+					return nil, fmt.Errorf("cert: overlapping facts at 0x%08x", in.Addr)
+				}
+				k.facts[idx] = ifact{in: in, blk: blk, fn: rf}
+			}
+		}
+	}
+	for _, a := range c.ISRRoots {
+		rf := k.funcsByAddr[a]
+		if rf == nil {
+			return nil, fmt.Errorf("cert: ISR root 0x%08x has no certified function", a)
+		}
+		k.isrByAddr[a] = rf
+	}
+	k.expect = append([]uint32(nil), c.Roots...)
+	return k, nil
+}
+
+func (k *Checker) index(addr uint32) (int, bool) {
+	if addr < k.base || addr >= k.cert.CodeLimit || addr&1 != 0 {
+		return 0, false
+	}
+	return int(addr-k.base) / 2, true
+}
+
+// Attach binds the checker to a trace, chaining any hook already set.
+func (k *Checker) Attach(t *armv6m.Trace) {
+	k.trace = t
+	prev := t.OnInstr
+	t.OnInstr = func(ii armv6m.InstrInfo) {
+		if prev != nil {
+			prev(ii)
+		}
+		k.OnInstr(ii)
+	}
+}
+
+// Err returns the first mismatch observed so far, or nil.
+func (k *Checker) Err() error { return k.err }
+
+func (k *Checker) fail(kind MismatchKind, f *rfunc, block, addr uint32, format string, args ...interface{}) {
+	if k.err != nil {
+		return
+	}
+	name := ""
+	if f != nil {
+		name = f.f.Name
+	}
+	k.err = &CheckError{Kind: kind, Func: name, Block: block, Addr: addr, Detail: fmt.Sprintf(format, args...)}
+}
+
+func (k *Checker) expected(addr uint32) bool {
+	for _, a := range k.expect {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// OnInstr processes one retired instruction. It is the Trace.OnInstr
+// hook; Attach installs it.
+func (k *Checker) OnInstr(ii armv6m.InstrInfo) {
+	if k.err != nil {
+		return
+	}
+	idx, ok := k.index(ii.Addr)
+	var fact *ifact
+	if ok && k.facts[idx].in != nil {
+		fact = &k.facts[idx]
+	}
+	if fact == nil {
+		k.fail(MismatchUncertified, nil, 0, ii.Addr, "retired PC has no certificate fact")
+		return
+	}
+	if k.done {
+		k.fail(MismatchEdge, fact.fn, fact.blk.Start, ii.Addr, "instruction retired after the certified halt")
+		return
+	}
+
+	// Control transfer: the retire must land on a certified edge. The
+	// one legal exception is a hardware exception entry, which may
+	// preempt any boundary and vectors to a certified ISR root.
+	if !k.expected(ii.Addr) {
+		isr := k.isrByAddr[ii.Addr]
+		if isr == nil || k.inException() {
+			k.fail(MismatchEdge, fact.fn, fact.blk.Start, ii.Addr,
+				"control transfer to 0x%08x is not a certified edge (expected %s)", ii.Addr, fmtAddrs(k.expect))
+			return
+		}
+		// Exception entry: suspend the interrupted continuation.
+		k.frames = append(k.frames, frame{fn: isr, exc: true, saved: append([]uint32(nil), k.expect...)})
+	}
+	if len(k.frames) == 0 {
+		// First retire of the run: open the root frame.
+		rf := k.funcsByAddr[ii.Addr]
+		if rf == nil {
+			k.fail(MismatchEdge, fact.fn, fact.blk.Start, ii.Addr, "run does not start at a certified root")
+			return
+		}
+		k.frames = append(k.frames, frame{fn: rf})
+	}
+	top := &k.frames[len(k.frames)-1]
+	if fact.fn != top.fn {
+		k.fail(MismatchEdge, fact.fn, fact.blk.Start, ii.Addr,
+			"instruction belongs to %s but the active frame is %s", fact.fn.f.Name, top.fn.f.Name)
+		return
+	}
+
+	in := fact.in
+	excReturn := top.exc && in.Ret // unstacking costs are outside the model
+	skipInstr := excReturn || !in.Exact
+
+	// Block occurrence accounting.
+	if top.cur == nil || top.cur != fact.blk {
+		if top.cur != nil {
+			// A block can only be left through its terminator; any open
+			// occurrence at a block switch means the previous close was
+			// missed, which the edge check above already precludes.
+			k.fail(MismatchEdge, fact.fn, top.cur.Start, ii.Addr, "block occurrence left open across a block switch")
+			return
+		}
+		if ii.Addr != fact.blk.Start {
+			k.fail(MismatchEdge, fact.fn, fact.blk.Start, ii.Addr, "control enters a block off its start")
+			return
+		}
+		k.openBlock(top, fact)
+		if k.err != nil {
+			return
+		}
+	}
+
+	active := ii.Cycles - ii.Sleep
+	top.acc += active
+	if skipInstr {
+		top.skip = true
+	} else {
+		// Per-instruction cycle formula (conditional branches add the
+		// taken extra on the taken edge).
+		want := in.Cost.Eval(k.ws)
+		if ii.Taken {
+			want += in.TakenExtra
+		}
+		if active != want {
+			k.fail(MismatchInstrCycles, fact.fn, fact.blk.Start, ii.Addr,
+				"%d active cycles, certified %d (= %d + %d*ws, ws=%d, taken=%v)",
+				active, want, in.Cost.Base, in.Cost.WS, k.ws, ii.Taken)
+			return
+		}
+		// Memory classification via exact bus-counter deltas.
+		if ii.FlashReads != in.FlashReads || ii.SRAMReads != in.SRAMReads || ii.SRAMWrites != in.SRAMWrites {
+			k.fail(MismatchMemory, fact.fn, fact.blk.Start, ii.Addr,
+				"bus deltas flash=%d sramR=%d sramW=%d, certified flash=%d sramR=%d sramW=%d (class %q)",
+				ii.FlashReads, ii.SRAMReads, ii.SRAMWrites, in.FlashReads, in.SRAMReads, in.SRAMWrites, in.Mem)
+			return
+		}
+	}
+
+	// Compute the certified continuation and close/push/pop as the
+	// instruction demands.
+	next := ii.Addr + uint32(in.Size)
+	switch {
+	case in.Halt:
+		k.closeBlock(top, fact, ii.Taken)
+		k.done = true
+		k.expect = nil
+	case in.Ret:
+		k.closeBlock(top, fact, ii.Taken)
+		if k.err != nil {
+			return
+		}
+		if len(k.frames) == 1 {
+			k.fail(MismatchEdge, fact.fn, fact.blk.Start, ii.Addr, "return from the root frame")
+			return
+		}
+		popped := k.frames[len(k.frames)-1]
+		k.frames = k.frames[:len(k.frames)-1]
+		if popped.exc {
+			k.expect = popped.saved
+		} else {
+			k.expect = []uint32{popped.retTo}
+		}
+	case in.Call != 0:
+		callee := k.funcsByAddr[in.Call]
+		if callee == nil {
+			k.fail(MismatchEdge, fact.fn, fact.blk.Start, ii.Addr, "call to uncertified function 0x%08x", in.Call)
+			return
+		}
+		if next == fact.blk.End {
+			// The call ends its block (the return lands on a leader):
+			// close the occurrence before suspending the caller.
+			k.closeBlock(top, fact, false)
+			if k.err != nil {
+				return
+			}
+		}
+		k.frames = append(k.frames, frame{fn: callee, retTo: next})
+		k.expect = []uint32{in.Call}
+	case in.Target != 0 && in.TakenExtra != 0: // conditional branch
+		k.closeBlock(top, fact, ii.Taken)
+		if ii.Taken {
+			k.expect = []uint32{in.Target}
+		} else {
+			k.expect = []uint32{next}
+		}
+	case in.Target != 0: // unconditional branch
+		k.closeBlock(top, fact, ii.Taken)
+		k.expect = []uint32{in.Target}
+	default:
+		if next == fact.blk.End {
+			k.closeBlock(top, fact, false)
+		}
+		k.expect = []uint32{next}
+	}
+}
+
+// openBlock starts a block occurrence and runs the loop-bound
+// accounting for headers.
+func (k *Checker) openBlock(top *frame, fact *ifact) {
+	blk := fact.blk
+	top.cur = blk
+	top.acc = 0
+	top.skip = !blk.Exact
+	for i := range top.fn.loops {
+		l := &top.fn.loops[i]
+		if l.header != blk.Start {
+			continue
+		}
+		if top.trips == nil {
+			top.trips = make(map[uint32]uint64)
+		}
+		if top.prevBlock != 0 && l.members[top.prevBlock] {
+			top.trips[l.header]++
+		} else {
+			top.trips[l.header] = 1 // fresh entry from outside the loop
+		}
+		if top.trips[l.header] > l.bound {
+			k.fail(MismatchLoopBound, fact.fn, blk.Start, blk.Start,
+				"loop header executed %d times in one entry, certified bound %d", top.trips[l.header], l.bound)
+			return
+		}
+	}
+}
+
+// closeBlock ends the open occurrence, checking the certified block
+// formula at the live wait-state setting.
+func (k *Checker) closeBlock(top *frame, fact *ifact, taken bool) {
+	blk := top.cur
+	if blk == nil {
+		return
+	}
+	k.blockExecs[blk.Start]++
+	want := blk.Cost.Eval(k.ws)
+	if taken && blk.TakenExtra != 0 {
+		want += blk.TakenExtra
+		k.takenExits[blk.Start]++
+	}
+	if top.skip {
+		k.skippedAct += top.acc
+	} else {
+		k.certSum += want
+		if top.acc != want {
+			k.fail(MismatchBlockCycles, fact.fn, blk.Start, blk.End-uint32(blk.Instrs[len(blk.Instrs)-1].Size),
+				"occurrence cost %d cycles, certified %d (= %d + %d*ws, ws=%d, taken-exit=%v)",
+				top.acc, want, blk.Cost.Base, blk.Cost.WS, k.ws, taken)
+			return
+		}
+	}
+	top.prevBlock = blk.Start
+	top.cur = nil
+	top.acc = 0
+	top.skip = false
+}
+
+// inException reports whether an exception frame is active.
+func (k *Checker) inException() bool {
+	for i := range k.frames {
+		if k.frames[i].exc {
+			return true
+		}
+	}
+	return false
+}
+
+// Finish validates the whole-run accounting after the core halted:
+// the certified occurrence costs, the exempted occurrences' observed
+// cycles, the exception-entry cycles, and the sleep cycles must sum
+// exactly to CPU.Cycles. It returns the first mismatch (from the run
+// or from this final identity), or nil.
+func (k *Checker) Finish() error {
+	if k.err != nil {
+		return k.err
+	}
+	if !k.done {
+		// The run ended without reaching the certified halt (budget
+		// exhaustion, fault): per-retire checks all passed, but the
+		// whole-run identity is not applicable.
+		return nil
+	}
+	var entry, sleep uint64
+	if k.trace != nil {
+		entry, sleep = k.trace.ExceptionEntryCycles, k.trace.SleepCycles
+	}
+	total := k.certSum + k.skippedAct + entry + sleep
+	if total != k.cpu.Cycles {
+		k.fail(MismatchTotals, nil, 0, 0,
+			"certified %d + exempt %d + exception-entry %d + sleep %d = %d cycles, core measured %d",
+			k.certSum, k.skippedAct, entry, sleep, total, k.cpu.Cycles)
+	}
+	return k.err
+}
+
+// CertifiedCycles returns the sum of certified block-formula values
+// over all checked occurrences (the active, non-exempt portion of the
+// run). For a run with no exceptions, no sleep, and a fully exact
+// certificate this equals CPU.Cycles.
+func (k *Checker) CertifiedCycles() uint64 { return k.certSum }
+
+// ExemptCycles returns the observed active cycles of occurrences that
+// were exempt from the cycle check (inexact blocks, exception
+// returns).
+func (k *Checker) ExemptCycles() uint64 { return k.skippedAct }
+
+// BlockExecutions returns the per-block occurrence counts observed
+// during the run, keyed by block start address.
+func (k *Checker) BlockExecutions() map[uint32]uint64 { return k.blockExecs }
+
+// TakenExits returns, per block start, how many occurrences exited via
+// the taken edge of a conditional terminator.
+func (k *Checker) TakenExits() map[uint32]uint64 { return k.takenExits }
+
+func fmtAddrs(addrs []uint32) string {
+	if len(addrs) == 0 {
+		return "halt"
+	}
+	s := ""
+	for i, a := range addrs {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("0x%08x", a)
+	}
+	return s
+}

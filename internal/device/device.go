@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"github.com/neuro-c/neuroc/internal/armv6m"
+	"github.com/neuro-c/neuroc/internal/cert"
 	"github.com/neuro-c/neuroc/internal/energy"
 	"github.com/neuro-c/neuroc/internal/modelimg"
 )
@@ -99,6 +100,16 @@ type Device struct {
 	// expect non-terminating images (farm regression tests, fuzzing)
 	// can bound a run without waiting out the full default budget.
 	Budget uint64
+
+	// Checked enables certificate-checked execution: every retired
+	// instruction is validated against the image's neuroc-cert/v1
+	// certificate (control-flow edges, memory classes, per-block cycle
+	// formulas, loop bounds) and any mismatch fails the run with a
+	// *cert.CheckError. Requires an image built with a certificate
+	// (modelimg attaches one to every build). Checked runs retire
+	// through the tracing step path, so they cost tracing overhead but
+	// produce bit-identical architectural results.
+	Checked bool
 }
 
 // New loads img into a fresh board. The returned device can run many
@@ -221,6 +232,21 @@ func (d *Device) run(input []int8, trace *armv6m.Trace) (*Result, error) {
 	d.CPU.Cycles = 0
 	d.CPU.Instructions = 0
 	d.CPU.SleepCycles = 0
+	var chk *cert.Checker
+	if d.Checked {
+		if d.Img.Cert == nil {
+			return nil, fmt.Errorf("device: checked execution requires an image certificate")
+		}
+		if trace == nil {
+			trace = armv6m.NewTrace()
+		}
+		var err error
+		chk, err = cert.NewChecker(d.Img.Cert, d.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("device: checked execution: %w", err)
+		}
+		chk.Attach(trace)
+	}
 	d.CPU.Trace = trace
 	defer func() { d.CPU.Trace = nil }()
 	if t := d.CPU.Bus.Timer; t != nil {
@@ -237,7 +263,17 @@ func (d *Device) run(input []int8, trace *armv6m.Trace) (*Result, error) {
 		budget = MaxInstructions
 	}
 	if err := d.CPU.Run(budget); err != nil {
+		// A certificate mismatch explains most checked-mode failures
+		// better than the downstream fault it can cause; prefer it.
+		if chk != nil && chk.Err() != nil {
+			return nil, fmt.Errorf("device: checked execution: %w", chk.Err())
+		}
 		return nil, fmt.Errorf("device: inference: %w", err)
+	}
+	if chk != nil {
+		if err := chk.Finish(); err != nil {
+			return nil, fmt.Errorf("device: checked execution: %w", err)
+		}
 	}
 	out := make([]int8, d.Img.OutDim)
 	for i := range out {

@@ -42,6 +42,13 @@ type Options struct {
 	// multiplier, core profile). It must apply the same configuration
 	// to every board, or results stop being worker-independent.
 	Configure func(*device.Device)
+
+	// Checked runs every inference in certificate-checked mode
+	// (device.Device.Checked): each board validates every retired
+	// instruction against the image's neuroc-cert/v1 certificate, and a
+	// mismatch surfaces as that item's Err. Slower (tracing path) but
+	// architecturally bit-identical.
+	Checked bool
 }
 
 // Result is the measurement for one input, at the same index Map
@@ -148,6 +155,7 @@ func Map(img *modelimg.Image, inputs [][]int8, opts Options) ([]Result, *Stats, 
 			defer wg.Done()
 			board := fi.NewBoard()
 			board.Budget = opts.Budget
+			board.Checked = opts.Checked
 			if opts.Configure != nil {
 				opts.Configure(board)
 			}

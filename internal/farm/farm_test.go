@@ -363,6 +363,33 @@ func TestConfigureAppliesToEveryBoard(t *testing.T) {
 	}
 }
 
+// TestCheckedMapMatchesUnchecked: certificate-checked execution across
+// the pool produces bit-identical outputs and cycle counts to the
+// plain run, with zero per-item failures.
+func TestCheckedMapMatchesUnchecked(t *testing.T) {
+	img := testImage(t)
+	inputs := testInputs(20, img.InDim)
+	plain, _, err := farm.Map(img, inputs, farm.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked, _, err := farm.Map(img, inputs, farm.Options{Workers: 4, Checked: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range inputs {
+		if checked[i].Err != nil {
+			t.Fatalf("input %d: checked run failed: %v", i, checked[i].Err)
+		}
+		if checked[i].Cycles != plain[i].Cycles {
+			t.Fatalf("input %d: checked %d cycles, plain %d", i, checked[i].Cycles, plain[i].Cycles)
+		}
+		if fmt.Sprint(checked[i].Output) != fmt.Sprint(plain[i].Output) {
+			t.Fatalf("input %d: outputs diverge: %v vs %v", i, checked[i].Output, plain[i].Output)
+		}
+	}
+}
+
 // TestSharedFlashRejectsOversizedImage covers the LoadFlash error path
 // end to end: an image larger than flash is a reported failure.
 func TestSharedFlashRejectsOversizedImage(t *testing.T) {

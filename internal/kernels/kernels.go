@@ -90,6 +90,7 @@ func load(reg, cursor string, width int) string {
 	case 2:
 		return fmt.Sprintf("\tldrh %s, [%s]\n\tadds %s, #2\n", reg, cursor, cursor)
 	default:
+		//neurolint:allow panics (builder invariant: widths come from the fixed encoding table, never from input)
 		panic(fmt.Sprintf("kernels: unsupported element width %d", width))
 	}
 }

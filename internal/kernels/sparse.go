@@ -85,12 +85,12 @@ func passDelta(name, tag, op string, cntOff, firstOff, deltaOff, cw, fw, dw int)
 %s	mov r10, r5
 	add r1, r8             @ moving pointer = in + first
 	movs r5, #0
-	ldrsb r0, [r1, r5]
+	ldrsb r0, [r1, r5]     @ asmcheck: load sram
 	%s r4, r4, r0
 	subs r3, #1
 	beq %s_%ss
 %s_%sk:
-%s	ldrsb r0, [r1, r5]     @ x[ptr + delta]
+%s	ldrsb r0, [r1, r5]     @ x[ptr + delta]; asmcheck: load sram
 	adds r1, r1, r5        @ advance the moving pointer
 	%s r4, r4, r0
 	subs r3, #1
@@ -135,13 +135,14 @@ func Delta(countW, firstW, deltaW int) (name, src string) {
 // r4 = index cursor (8-bit block-local), r11 = out counter.
 func passBlockColumns(name, tag, op string, cw int) string {
 	return fmt.Sprintf(`%s_%sc:
+	@ asmcheck: load flash (count table walked by a record cursor)
 %s	ldr r7, [r2]
 	cmp r6, #0
 	beq %s_%ss
 %s_%sk:
-	ldrb r5, [r4]
+	ldrb r5, [r4]          @ asmcheck: load flash
 	adds r4, #1
-	ldrsb r5, [r1, r5]
+	ldrsb r5, [r1, r5]     @ asmcheck: load sram
 	%s r7, r7, r5
 	subs r6, #1
 	bne %s_%sk             @ asmcheck: loop {LOOP}

@@ -20,6 +20,7 @@ import (
 
 	"github.com/neuro-c/neuroc/internal/armv6m"
 	"github.com/neuro-c/neuroc/internal/asmcheck"
+	"github.com/neuro-c/neuroc/internal/cert"
 	"github.com/neuro-c/neuroc/internal/encoding"
 	"github.com/neuro-c/neuroc/internal/kernels"
 	"github.com/neuro-c/neuroc/internal/quant"
@@ -96,6 +97,12 @@ type Image struct {
 	// is gated on it passing, so a non-nil Image carries a violation-free
 	// report with the proven worst-case stack and cycle bounds.
 	Check *asmcheck.Report
+
+	// Cert is the proof-carrying neuroc-cert/v1 certificate exported
+	// from the same analysis: per-block cycle formulas, memory classes,
+	// and loop bounds that checked execution (device.Options.Checked,
+	// m0run -checked) validates at retire time.
+	Cert *cert.Certificate
 
 	// Layers lists the emitted layers in call order; each layer i also
 	// gets an "l<i>_call" label in the symbol table (and "entry_end"
@@ -310,17 +317,17 @@ data_start:
 		// window so the checker can prove them safe.
 		vcfg.PeriphBase, vcfg.PeriphSize = armv6m.TimerBase, armv6m.TimerSize
 	}
-	report, err := asmcheck.Check(prog, vcfg)
+	crt, report, err := asmcheck.Certify(prog, vcfg)
 	if err != nil {
-		return nil, fmt.Errorf("modelimg: static check: %w", err)
-	}
-	if !report.OK() {
-		var msgs []string
-		for _, v := range report.Violations {
-			msgs = append(msgs, v.String())
+		if report != nil && !report.OK() {
+			var msgs []string
+			for _, v := range report.Violations {
+				msgs = append(msgs, v.String())
+			}
+			return nil, fmt.Errorf("modelimg: image fails static verification:\n  %s",
+				strings.Join(msgs, "\n  "))
 		}
-		return nil, fmt.Errorf("modelimg: image fails static verification:\n  %s",
-			strings.Join(msgs, "\n  "))
+		return nil, fmt.Errorf("modelimg: static check: %w", err)
 	}
 
 	img := &Image{
@@ -334,6 +341,7 @@ data_start:
 		RAMBytes:  heapEnd - int(armv6m.SRAMBase) + StackReserve,
 		Asm:       asm,
 		Check:     report,
+		Cert:      crt,
 		Layers:    layers,
 		Telemetry: opts.Telemetry,
 	}

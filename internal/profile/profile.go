@@ -51,7 +51,7 @@ type symbol struct {
 // empty: entries then carry raw addresses).
 func New(t *armv6m.Trace, symbols map[string]uint32) *Profile {
 	p := &Profile{Trace: t}
-	for n, a := range symbols {
+	for n, a := range symbols { //neurolint:allow maporder (sorted below)
 		p.syms = append(p.syms, symbol{name: n, addr: a})
 	}
 	sort.Slice(p.syms, func(i, j int) bool {
@@ -110,6 +110,7 @@ func (p *Profile) aggregate() {
 		e.Count += s.Count
 		e.Cycles += s.Cycles
 	}
+	//neurolint:allow maporder (commutative sums per symbol; entries sorted in collect)
 	for pc, s := range p.Trace.PCs {
 		sym, ok := p.locate(pc)
 		if !ok {
@@ -123,7 +124,7 @@ func (p *Profile) aggregate() {
 	}
 	collect := func(m map[string]*Entry) []Entry {
 		out := make([]Entry, 0, len(m))
-		for _, e := range m {
+		for _, e := range m { //neurolint:allow maporder (sorted below on a total order)
 			out = append(out, *e)
 		}
 		sort.Slice(out, func(i, j int) bool {
@@ -224,7 +225,7 @@ func (p *Profile) WriteFolded(w io.Writer) error {
 	// Aggregate per (root, label) pair for stable two-level stacks.
 	type key struct{ root, label string }
 	agg := make(map[key]uint64)
-	for pc, s := range p.Trace.PCs {
+	for pc, s := range p.Trace.PCs { //neurolint:allow maporder (commutative sums; keys sorted below)
 		sym, ok := p.locate(pc)
 		if !ok {
 			agg[key{fmt.Sprintf("0x%08x", pc), ""}] += s.Cycles
@@ -237,7 +238,7 @@ func (p *Profile) WriteFolded(w io.Writer) error {
 		}
 	}
 	keys := make([]key, 0, len(agg))
-	for k := range agg {
+	for k := range agg { //neurolint:allow maporder (sorted below)
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool {

@@ -21,7 +21,10 @@
 // Comments of the form "@ asmcheck: loop N" annotate the instruction on
 // the same line (or, on a comment-only line, the next instruction) with
 // a loop iteration bound consumed by the internal/asmcheck static
-// analyzer; see docs/ASMCHECK.md.
+// analyzer; "@ asmcheck: load flash|sram|periph" likewise declares the
+// memory region a load reads when the abstract interpreter cannot prove
+// it (checked execution validates the claim at runtime); see
+// docs/ASMCHECK.md.
 package thumb
 
 import (
@@ -42,6 +45,11 @@ type InstrMeta struct {
 	Line      int
 	Mn        string
 	LoopBound int // 0 when unannotated
+	// LoadRegion is the "asmcheck: load" region annotation ("flash",
+	// "sram", or "periph"; empty when unannotated). It is a trusted
+	// hint for loads whose address the static analysis cannot resolve;
+	// certificate-checked execution verifies it on every run.
+	LoadRegion string
 }
 
 // Program is the output of Assemble: machine code plus the symbol table
@@ -88,6 +96,15 @@ func (p *Program) LoopBoundAt(addr uint32) (int, bool) {
 	return 0, false
 }
 
+// LoadRegionAt returns the "asmcheck: load <region>" annotation on the
+// instruction at addr, or "" when unannotated.
+func (p *Program) LoadRegionAt(addr uint32) string {
+	if i := p.instrIndex(addr); i >= 0 {
+		return p.Instrs[i].LoadRegion
+	}
+	return ""
+}
+
 // Symbol returns the address of label, or an error naming it.
 func (p *Program) Symbol(label string) (uint32, error) {
 	if a, ok := p.Symbols[label]; ok {
@@ -130,6 +147,7 @@ type item struct {
 	pool      []*literal
 	align     int // alignment request (bytes) for align items and pools
 	loopBound int // "asmcheck: loop N" annotation (0 = none)
+	loadRegion string // "asmcheck: load <region>" annotation ("" = none)
 }
 
 type assembler struct {
@@ -138,7 +156,8 @@ type assembler struct {
 	symbols     map[string]uint32
 	labels      map[string]int // label -> line defined (duplicate detection)
 	pending     []*literal
-	pendingLoop int // loop annotation from a comment-only line, for the next instruction
+	pendingLoop int    // loop annotation from a comment-only line, for the next instruction
+	pendingLoad string // load-region annotation carried the same way
 }
 
 // Assemble translates src into machine code loaded at base.
@@ -170,7 +189,8 @@ func Assemble(src string, base uint32) (*Program, error) {
 			continue
 		}
 		p.Instrs = append(p.Instrs, InstrMeta{
-			Addr: it.addr, Size: it.size, Line: it.line, Mn: it.mn, LoopBound: it.loopBound,
+			Addr: it.addr, Size: it.size, Line: it.line, Mn: it.mn,
+			LoopBound: it.loopBound, LoadRegion: it.loadRegion,
 		})
 	}
 	return p, nil
@@ -192,6 +212,9 @@ func stripComment(line string) string {
 
 // loopAnnRe matches the "asmcheck: loop N" annotation inside a comment.
 var loopAnnRe = regexp.MustCompile(`asmcheck:\s*loop\s+(\d+)`)
+
+// loadAnnRe matches the "asmcheck: load <region>" annotation.
+var loadAnnRe = regexp.MustCompile(`asmcheck:\s*load\s+(\w+)`)
 
 // splitOperands splits an operand string on commas that are not inside
 // [] or {} groups.
@@ -232,6 +255,14 @@ func (a *assembler) parse(src string) error {
 			// next one when the annotation sits on its own line.
 			a.pendingLoop = n
 		}
+		if m := loadAnnRe.FindStringSubmatch(raw); m != nil {
+			switch m[1] {
+			case "flash", "sram", "periph":
+				a.pendingLoad = m[1]
+			default:
+				return errf(ln, "bad asmcheck load region %q (want flash, sram, or periph)", m[1])
+			}
+		}
 		for line != "" {
 			// Labels (possibly several) at the start of the line.
 			if i := strings.IndexByte(line, ':'); i >= 0 && isLabel(line[:i]) {
@@ -262,8 +293,9 @@ func (a *assembler) parse(src string) error {
 			continue
 		}
 		args := splitOperands(rest)
-		it := &item{line: ln, mn: mn, args: args, size: 2, loopBound: a.pendingLoop}
+		it := &item{line: ln, mn: mn, args: args, size: 2, loopBound: a.pendingLoop, loadRegion: a.pendingLoad}
 		a.pendingLoop = 0
+		a.pendingLoad = ""
 		switch mn {
 		case "bl":
 			it.size = 4

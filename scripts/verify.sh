@@ -13,11 +13,39 @@ echo "== static (go vet + race detector + fuzz corpus)"
 go vet ./...
 go test -race ./...
 
+echo "== neurolint (repo-local determinism/artifact-stability gate)"
+go run ./cmd/neurolint
+
+echo "== staticcheck (pinned; skipped loudly when the module proxy is unreachable)"
+# The container this script often runs in has no network and an empty
+# module cache; CI always has both, so the pinned tools are a hard gate
+# there and an announced skip here.
+TOOLBIN="$(mktemp -d)"
+trap 'rm -rf "$TOOLBIN"' EXIT
+if GOBIN="$TOOLBIN" go install honnef.co/go/tools/cmd/staticcheck@v0.6.1 >/dev/null 2>&1; then
+	"$TOOLBIN/staticcheck" ./...
+else
+	echo "   SKIPPED: cannot fetch staticcheck@v0.6.1 (offline?); CI runs it unconditionally"
+fi
+
+echo "== govulncheck (pinned; skipped loudly when the module proxy is unreachable)"
+if GOBIN="$TOOLBIN" go install golang.org/x/vuln/cmd/govulncheck@v1.1.4 >/dev/null 2>&1; then
+	"$TOOLBIN/govulncheck" ./...
+else
+	echo "   SKIPPED: cannot fetch govulncheck@v1.1.4 (offline?); CI runs it unconditionally"
+fi
+
 echo "== go test"
 go test ./...
 
 echo "== asmcheck (static verification of all generated kernels)"
 go run ./cmd/asmcheck -kernels
+
+echo "== certificates (every kernel variant exports a neuroc-cert/v1 artifact)"
+go run ./cmd/asmcheck -kernels -cert > /dev/null
+
+echo "== checked execution (certificates validated at retire time, both interpreters)"
+go test -run 'TestVariantCertExactness|TestModelChecked' -count=1 ./internal/cert/
 
 echo "== farm race-stress (shared-flash board farm under the race detector)"
 go test -race -count=1 ./internal/farm/...
