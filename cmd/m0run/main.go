@@ -39,6 +39,16 @@
 //
 //	m0run -model model.ncq1 -checked
 //	m0run -model model.ncq1 -batch inputs.raw -checked
+//
+// Execution tiers (see docs/EMULATOR.md): -tier pins the emulator tier
+// (auto, legacy, predecoded, translated). All tiers are bit-identical;
+// they differ only in host speed. Combinations that cannot honor the
+// requested tier are audited up front: tracing flags downgrade
+// -tier translated with a stderr notice, and meaningless combinations
+// (-tier translated -checked) are rejected:
+//
+//	m0run -model model.ncq1 -tier translated
+//	m0run -model model.ncq1 -batch inputs.raw -tier translated -j 8
 package main
 
 import (
@@ -82,6 +92,7 @@ func main() {
 	layers := flag.Bool("layers", false, "build with on-device telemetry markers and print per-layer cycle attribution (requires -model; with -batch, aggregated across the batch)")
 	energyRep := flag.Bool("energy", false, "price the measured cycles with the board's calibrated energy model and print a per-layer µJ report (requires -model; implies telemetry markers; with -batch, aggregated across the batch)")
 	energyJSON := flag.String("energy-json", "", "write the neuroc-energy/v1 report as JSON to this file (requires -energy)")
+	tierFlag := flag.String("tier", "auto", "execution tier: auto (fastest available), legacy, predecoded, or translated (requires a certified image)")
 	batch := flag.String("batch", "", "raw file of concatenated input records (model input dim each): run all of them on the board farm (requires -model)")
 	workers := flag.Int("j", 0, "board-farm workers for -batch (0 = all host cores); results are bit-identical for any value")
 	cpuprofile := flag.String("cpuprofile", "", "write a host pprof CPU profile of the emulator to this file")
@@ -108,6 +119,18 @@ func main() {
 	}
 	if *checked && *model == "" {
 		fatal(fmt.Errorf("-checked requires -model: the certificate is produced when the image is built"))
+	}
+	tier, err := device.ParseTier(*tierFlag)
+	if err != nil {
+		fatal(err)
+	}
+	profiling := *prof || *traceN > 0 || *folded != "" || *profJSON != ""
+	effTier, tierNotices, err := tierAudit(tier, *checked, profiling, *model != "")
+	if err != nil {
+		fatal(err)
+	}
+	for _, n := range tierNotices {
+		fmt.Fprintln(os.Stderr, "m0run:", n)
 	}
 	if *batch != "" {
 		if conflicts := batchFlagConflicts(*prof, *traceN, *folded, *profJSON, *in, *dumpAddr); len(conflicts) != 0 {
@@ -152,7 +175,7 @@ func main() {
 		if image == nil {
 			fatal(fmt.Errorf("-batch requires -model (the input record size is the model's input dimension)"))
 		}
-		runBatch(image, *batch, *workers, *maxInstr, *ws, *checked, *energyRep, *energyJSON)
+		runBatch(image, *batch, *workers, *maxInstr, *ws, effTier, *checked, *energyRep, *energyJSON)
 		return
 	}
 
@@ -165,20 +188,34 @@ func main() {
 		cpu.EnableTimer()
 	}
 
-	profiling := *prof || *traceN > 0 || *folded != "" || *profJSON != ""
+	switch effTier {
+	case device.TierLegacy:
+		cpu.DisablePredecode = true
+	case device.TierPredecoded:
+		cpu.DisableTranslation = true
+	case device.TierAuto, device.TierTranslated:
+		// Attach the certificate-derived superblock translation table
+		// when the image carries one; tierAudit has already rejected or
+		// downgraded every combination where it could not be honored.
+		if image != nil && image.Cert != nil && !profiling && !*checked {
+			if tt := cert.Translate(image.Cert, cpu.PredecodeNow()); tt != nil {
+				cpu.UseTranslation(tt)
+			} else if effTier == device.TierTranslated {
+				fatal(fmt.Errorf("-tier translated: the image certificate did not yield a translation table"))
+			}
+		} else if effTier == device.TierTranslated {
+			fatal(fmt.Errorf("-tier translated requires a certified image (-model)"))
+		}
+	}
+
 	var trace *armv6m.Trace
 	if profiling || *checked {
 		trace = cpu.EnableTrace()
 	}
-	var chk *cert.Checker
-	if *checked {
-		var err error
-		chk, err = cert.NewChecker(image.Cert, cpu)
-		if err != nil {
-			fatal(err)
-		}
-		chk.Attach(trace)
-	}
+	// The -trace print hook is installed BEFORE the checker attaches:
+	// Checker.Attach chains the existing hook, so both fire. (Assigning
+	// trace.OnInstr after Attach used to overwrite the checker's hook,
+	// silently disabling -checked whenever -trace was also given.)
 	if *traceN > 0 {
 		var printed uint64
 		trace.OnInstr = func(ii armv6m.InstrInfo) {
@@ -198,6 +235,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "trace %08x: %-28s %d cycles [%s]%s\n",
 				ii.Addr, text, ii.Cycles, ii.Class, taken)
 		}
+	}
+	var chk *cert.Checker
+	if *checked {
+		var err error
+		chk, err = cert.NewChecker(image.Cert, cpu)
+		if err != nil {
+			fatal(err)
+		}
+		chk.Attach(trace)
 	}
 
 	if *in != "" {
@@ -243,6 +289,7 @@ func main() {
 		fmt.Printf("checked: every retired instruction matched the certificate (%d certified cycles)\n",
 			chk.CertifiedCycles())
 	}
+	fmt.Printf("tier: %s\n", runTierName(cpu, trace != nil))
 	fmt.Printf("halted: BKPT #%d after %d instructions, %d cycles (CPI %.3f, %.3f ms @ 8 MHz)\n",
 		cpu.HaltCode, cpu.Instructions, cpu.Cycles,
 		float64(cpu.Cycles)/float64(cpu.Instructions), device.CyclesToMS(cpu.Cycles))
@@ -346,6 +393,51 @@ func writeTo(path string, emit func(w io.Writer) error) {
 	fmt.Fprintf(os.Stderr, "m0run: wrote %s\n", path)
 }
 
+// runTierName reports the tier the run actually executed on, so the
+// printed host-throughput figures are never attributed to a tier that
+// silently fell back.
+func runTierName(cpu *armv6m.CPU, traced bool) string {
+	switch {
+	case cpu.DisablePredecode:
+		return "legacy"
+	case traced:
+		return "predecoded (tracing interpreter)"
+	case cpu.TranslationAttached() && !cpu.DisableTranslation:
+		return "translated"
+	default:
+		return "predecoded"
+	}
+}
+
+// tierAudit validates -tier against the observability flags before
+// anything runs, the same way batchFlagConflicts audits -batch. Three
+// outcomes: the tier is honored; it is downgraded with a stderr notice
+// when a tracing flag forces the stepping interpreter (which cannot
+// retire through the translated tier); or the combination is rejected
+// outright as meaningless. Pure so main_test.go can table-test it.
+func tierAudit(tier device.Tier, checked, profiling, haveModel bool) (device.Tier, []string, error) {
+	if tier != device.TierTranslated {
+		return tier, nil, nil
+	}
+	if checked {
+		return "", nil, fmt.Errorf("-tier translated is incompatible with -checked: checked execution " +
+			"validates the tracing interpreter against the very certificate the translated tier is " +
+			"compiled from; drop one of the flags")
+	}
+	if !haveModel {
+		return "", nil, fmt.Errorf("-tier translated requires -model: raw -img files carry no " +
+			"neuroc-cert/v1 certificate to translate")
+	}
+	if profiling {
+		return device.TierPredecoded, []string{
+			"-trace/-profile/-folded/-profile-json retire through the tracing interpreter; running on " +
+				"the predecoded tier, NOT the requested translated tier (reported host MIPS are the " +
+				"traced path's)",
+		}, nil
+	}
+	return tier, nil, nil
+}
+
 // batchFlagConflicts lists the single-run observability flags that are
 // set but meaningless under -batch, where boards run in parallel
 // without per-board traces. m0run used to ignore them silently, which
@@ -378,7 +470,7 @@ func batchFlagConflicts(prof bool, traceN uint64, folded, profJSON, in, dumpAddr
 // per-input predictions, cycle counts, and aggregate statistics. A
 // budget-exhausted or faulting input exits non-zero after the whole
 // batch is reported (one bad input never hides the others).
-func runBatch(image *modelimg.Image, path string, workers int, maxInstr uint64, ws int, checked, energyRep bool, energyJSON string) {
+func runBatch(image *modelimg.Image, path string, workers int, maxInstr uint64, ws int, tier device.Tier, checked, energyRep bool, energyJSON string) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fatal(err)
@@ -400,6 +492,7 @@ func runBatch(image *modelimg.Image, path string, workers int, maxInstr uint64, 
 		Workers: workers,
 		Budget:  maxInstr,
 		Checked: checked,
+		Tier:    tier,
 		Configure: func(d *device.Device) {
 			d.CPU.Bus.FlashWaitStates = ws
 		},
@@ -419,8 +512,15 @@ func runBatch(image *modelimg.Image, path string, workers int, maxInstr uint64, 
 	}
 	fmt.Printf("batch: %d inputs, %d failed, %d workers, wall %v (%.0f inf/s)\n",
 		stats.Items, stats.Failed, stats.Workers, stats.Wall.Round(time.Millisecond), stats.Throughput())
-	fmt.Printf("emulation: %.0f host MIPS (%d instructions retired), predecode build %.2f ms\n",
-		stats.HostMIPS(), stats.Instructions, float64(stats.PredecodeBuild.Microseconds())/1000)
+	tierName := string(tier)
+	if tier == device.TierAuto {
+		tierName = "auto"
+	}
+	if checked {
+		tierName += " (checked: tracing interpreter)"
+	}
+	fmt.Printf("emulation: %.0f host MIPS (%d instructions retired, tier %s), predecode build %.2f ms\n",
+		stats.HostMIPS(), stats.Instructions, tierName, float64(stats.PredecodeBuild.Microseconds())/1000)
 	if stats.Items > stats.Failed {
 		fmt.Printf("cycles: mean %d, min %d, max %d (mean %.3f ms @ 8 MHz)\n",
 			stats.MeanCycles, stats.MinCycles, stats.MaxCycles, stats.LatencyMS())

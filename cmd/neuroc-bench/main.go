@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"github.com/neuro-c/neuroc/internal/bench"
+	"github.com/neuro-c/neuroc/internal/device"
 	"github.com/neuro-c/neuroc/internal/report"
 )
 
@@ -82,6 +83,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	metrics := flag.String("metrics", "", "write structured per-experiment metrics JSON to this file")
 	workers := flag.Int("j", 0, "board-farm workers for device measurements (0 = all host cores); results are bit-identical for any value")
+	tierFlag := flag.String("tier", "auto", "emulator execution tier for device measurements (auto, legacy, predecoded, translated); results are bit-identical for any tier")
 	cpuprofile := flag.String("cpuprofile", "", "write a host pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a host pprof heap profile to this file on exit")
 	flag.Parse()
@@ -100,7 +102,12 @@ func main() {
 		return
 	}
 
-	cfg := bench.Config{Quick: *quick, Seed: *seed, Workers: *workers}
+	tier, err := device.ParseTier(*tierFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "neuroc-bench:", err)
+		os.Exit(1)
+	}
+	cfg := bench.Config{Quick: *quick, Seed: *seed, Workers: *workers, Tier: tier}
 	if *verbose {
 		cfg.Log = os.Stderr
 	}

@@ -28,6 +28,13 @@ type Deployment struct {
 	// produces bit-identical outputs and per-input cycle counts — the
 	// farm only changes host wall-clock time.
 	Workers int
+
+	// Tier pins the emulator execution tier for batch evaluations
+	// (device.Tier: legacy, predecoded, or translated). The zero value
+	// keeps the fastest available tier. Profile always retires through
+	// the tracing interpreter regardless of Tier — cycle-attribution
+	// needs per-instruction hooks the translated tier cannot provide.
+	Tier device.Tier
 }
 
 // ErrNotDeployable reports a model that exceeds the device's flash or
@@ -101,7 +108,7 @@ func (d *Deployment) MeasureStats(ds *Dataset, runs int) (ms float64, cycles, in
 	for i := range inputs {
 		inputs[i] = d.QModel.QuantizeInput(ds.TestX.Row(i % ds.TestX.Rows))
 	}
-	results, _, err := farm.Map(d.Img, inputs, farm.Options{Workers: d.Workers})
+	results, _, err := farm.Map(d.Img, inputs, farm.Options{Workers: d.Workers, Tier: d.Tier})
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -136,7 +143,7 @@ func (d *Deployment) MeasureLayers(ds *Dataset, runs int) ([]telemetry.LayerStat
 	for i := range inputs {
 		inputs[i] = d.QModel.QuantizeInput(ds.TestX.Row(i % ds.TestX.Rows))
 	}
-	results, _, err := farm.Map(img, inputs, farm.Options{Workers: d.Workers})
+	results, _, err := farm.Map(img, inputs, farm.Options{Workers: d.Workers, Tier: d.Tier})
 	if err != nil {
 		return nil, err
 	}
@@ -165,7 +172,7 @@ func (d *Deployment) MeasureEnergy(ds *Dataset, runs int) (*telemetry.EnergyAggr
 	for i := range inputs {
 		inputs[i] = d.QModel.QuantizeInput(ds.TestX.Row(i % ds.TestX.Rows))
 	}
-	results, _, err := farm.Map(img, inputs, farm.Options{Workers: d.Workers})
+	results, _, err := farm.Map(img, inputs, farm.Options{Workers: d.Workers, Tier: d.Tier})
 	if err != nil {
 		return nil, err
 	}
@@ -207,7 +214,7 @@ func (d *Deployment) deviceAccuracyStats(ds *Dataset, n int) (float64, *farm.Sta
 	for i := range inputs {
 		inputs[i] = d.QModel.QuantizeInput(ds.TestX.Row(i))
 	}
-	return farm.Accuracy(d.Img, inputs, ds.TestY[:n], farm.Options{Workers: d.Workers})
+	return farm.Accuracy(d.Img, inputs, ds.TestY[:n], farm.Options{Workers: d.Workers, Tier: d.Tier})
 }
 
 // DeviceAccuracyChecked is DeviceAccuracy with a differential gate:
@@ -225,7 +232,7 @@ func (d *Deployment) DeviceAccuracyChecked(ds *Dataset, n int) (float64, *farm.S
 	for i := range inputs {
 		inputs[i] = d.QModel.QuantizeInput(ds.TestX.Row(i))
 	}
-	results, stats, err := farm.Map(d.Img, inputs, farm.Options{Workers: d.Workers})
+	results, stats, err := farm.Map(d.Img, inputs, farm.Options{Workers: d.Workers, Tier: d.Tier})
 	if err != nil {
 		return 0, stats, err
 	}

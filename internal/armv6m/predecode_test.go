@@ -403,6 +403,7 @@ var sink uint64
 // This is the instruction mix inference spends its cycles in, so the
 // two MIPS figures below give the speedup on real workloads.
 const benchProgram = `
+entry:
 	ldr r7, =2000           @ row count
 	ldr r3, =0x08000000     @ weight row pointer (flash)
 	ldr r4, =0x20000000     @ activation buffer (SRAM)
@@ -417,10 +418,10 @@ inner:
 	adds r1, r1, r6
 	adds r2, #1
 	cmp r2, r5
-	blo inner
+	blo inner               @ asmcheck: loop 64
 	str r1, [r4, #64]       @ store the row accumulator
 	subs r7, #1
-	bne outer
+	bne outer               @ asmcheck: loop 2000
 	bkpt #0
 	.pool
 `
@@ -448,10 +449,40 @@ func benchRun(b *testing.B, disable bool) {
 	b.ReportMetric(mips, "MIPS")
 }
 
+// benchRunTranslated is benchRun on the superblock translation tier:
+// the same program, certified, with the hot loop lowered to a fused
+// self-loop superblock.
+func benchRunTranslated(b *testing.B) {
+	prog, c := certifySrc(b, benchProgram, false)
+	cpu := bootTier(b, prog, c, 0, "translated", false)
+	if err := cpu.Run(10_000_000); err != nil {
+		b.Fatal(err)
+	}
+	if !cpu.TranslationAttached() {
+		b.Fatal("translation table not attached")
+	}
+	instrPerRun := cpu.Instructions
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cpu.Reset(); err != nil {
+			b.Fatal(err)
+		}
+		cpu.Cycles, cpu.Instructions = 0, 0
+		if err := cpu.Run(10_000_000); err != nil {
+			b.Fatal(err)
+		}
+		sink += cpu.Cycles
+	}
+	b.StopTimer()
+	mips := float64(instrPerRun) * float64(b.N) / b.Elapsed().Seconds() / 1e6
+	b.ReportMetric(mips, "MIPS")
+}
+
 // BenchmarkInference measures a whole emulated kernel run (reset to
-// BKPT) on both paths; the ratio of the two MIPS figures is the
-// predecode speedup.
+// BKPT) on all three tiers; the ratios of the MIPS figures are the
+// predecode and translation speedups.
 func BenchmarkInference(b *testing.B) {
+	b.Run("Translated", benchRunTranslated)
 	b.Run("Predecoded", func(b *testing.B) { benchRun(b, false) })
 	b.Run("Legacy", func(b *testing.B) { benchRun(b, true) })
 }

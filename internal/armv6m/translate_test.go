@@ -1,0 +1,348 @@
+package armv6m_test
+
+// Differential tests for the superblock translation tier: every
+// certified kernel variant (and the fallback/budget edge cases) must
+// execute bit-identically — registers, flags, memory, cycles,
+// instructions, bus counters, telemetry — on the translated tier, the
+// predecoded tier, and the legacy interpreter, at every wait-state
+// setting. These are the same gates that protected the predecoded
+// tier in PR 4, now three-way.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/neuro-c/neuroc/internal/armv6m"
+	"github.com/neuro-c/neuroc/internal/asmcheck"
+	"github.com/neuro-c/neuroc/internal/cert"
+	"github.com/neuro-c/neuroc/internal/kernels"
+	"github.com/neuro-c/neuroc/internal/thumb"
+)
+
+const certBase = 0x08000100
+
+// tierName indexes the three execution tiers under test.
+var tierNames = []string{"legacy", "predecoded", "translated"}
+
+// certifySrc assembles and certifies a standalone harness under the
+// strict kernel configuration, optionally with the telemetry
+// peripheral window mapped.
+func certifySrc(t testing.TB, src string, telemetry bool) (*thumb.Program, *cert.Certificate) {
+	t.Helper()
+	prog, err := thumb.Assemble(src, certBase)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	cfg := asmcheck.DefaultConfig()
+	cfg.Strict = true
+	cfg.StackBudget = 1024
+	if telemetry {
+		cfg.PeriphBase, cfg.PeriphSize = armv6m.TimerBase, armv6m.TimerSize
+	}
+	if desc, err := prog.Symbol("desc"); err == nil {
+		cfg.CodeLimit = desc
+	}
+	c, rep, err := asmcheck.Certify(prog, cfg)
+	if err != nil {
+		t.Fatalf("certify: %v", err)
+	}
+	if !rep.OK() {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	return prog, c
+}
+
+// bootTier boots prog on a fresh core configured for one of the three
+// tiers. For the translated tier the certificate is lowered through
+// cert.Translate over the core's own predecode table.
+func bootTier(t testing.TB, prog *thumb.Program, c *cert.Certificate, ws int, tier string, telemetry bool) *armv6m.CPU {
+	t.Helper()
+	cpu := armv6m.New()
+	vec := make([]byte, 16)
+	put32 := func(off int, v uint32) {
+		vec[off] = byte(v)
+		vec[off+1] = byte(v >> 8)
+		vec[off+2] = byte(v >> 16)
+		vec[off+3] = byte(v >> 24)
+	}
+	put32(0, armv6m.SRAMBase+armv6m.SRAMSize)
+	put32(4, prog.Base|1)
+	if err := cpu.Bus.LoadFlash(0, vec); err != nil {
+		t.Fatalf("load vectors: %v", err)
+	}
+	if err := cpu.Bus.LoadFlash(int(prog.Base-armv6m.FlashBase), prog.Code); err != nil {
+		t.Fatalf("load code: %v", err)
+	}
+	cpu.Bus.FlashWaitStates = ws
+	if telemetry {
+		cpu.EnableTimer()
+	}
+	switch tier {
+	case "legacy":
+		cpu.DisablePredecode = true
+	case "predecoded":
+		cpu.DisableTranslation = true
+	case "translated":
+		tt := cert.Translate(c, cpu.PredecodeNow())
+		if tt == nil {
+			t.Fatalf("cert.Translate returned nil: nothing translated")
+		}
+		cpu.UseTranslation(tt)
+	default:
+		t.Fatalf("unknown tier %q", tier)
+	}
+	if err := cpu.Reset(); err != nil {
+		t.Fatalf("reset: %v", err)
+	}
+	cpu.Cycles, cpu.Instructions = 0, 0
+	return cpu
+}
+
+// requireSameState asserts bit-identical architectural and counter
+// state between a reference core and a core under test.
+func requireSameState(t *testing.T, name string, ref, got *armv6m.CPU) {
+	t.Helper()
+	for i := range ref.R {
+		if ref.R[i] != got.R[i] {
+			t.Errorf("%s: R%d = 0x%08x, want 0x%08x", name, i, got.R[i], ref.R[i])
+		}
+	}
+	if got.N != ref.N || got.Z != ref.Z || got.C != ref.C || got.V != ref.V {
+		t.Errorf("%s: flags NZCV = %v%v%v%v, want %v%v%v%v", name,
+			got.N, got.Z, got.C, got.V, ref.N, ref.Z, ref.C, ref.V)
+	}
+	if got.Cycles != ref.Cycles {
+		t.Errorf("%s: cycles = %d, want %d", name, got.Cycles, ref.Cycles)
+	}
+	if got.Instructions != ref.Instructions {
+		t.Errorf("%s: instructions = %d, want %d", name, got.Instructions, ref.Instructions)
+	}
+	if got.Halted != ref.Halted || got.HaltCode != ref.HaltCode {
+		t.Errorf("%s: halted=%v code=%d, want halted=%v code=%d", name,
+			got.Halted, got.HaltCode, ref.Halted, ref.HaltCode)
+	}
+	if got.Bus.FlashReads != ref.Bus.FlashReads {
+		t.Errorf("%s: flash reads = %d, want %d", name, got.Bus.FlashReads, ref.Bus.FlashReads)
+	}
+	if got.Bus.SRAMReads != ref.Bus.SRAMReads {
+		t.Errorf("%s: SRAM reads = %d, want %d", name, got.Bus.SRAMReads, ref.Bus.SRAMReads)
+	}
+	if got.Bus.SRAMWrites != ref.Bus.SRAMWrites {
+		t.Errorf("%s: SRAM writes = %d, want %d", name, got.Bus.SRAMWrites, ref.Bus.SRAMWrites)
+	}
+	for i := range ref.Bus.SRAM {
+		if ref.Bus.SRAM[i] != got.Bus.SRAM[i] {
+			t.Errorf("%s: SRAM[0x%x] = 0x%02x, want 0x%02x", name, i, got.Bus.SRAM[i], ref.Bus.SRAM[i])
+			break
+		}
+	}
+	rt, gt := ref.Bus.Timer, got.Bus.Timer
+	if (rt == nil) != (gt == nil) {
+		t.Fatalf("%s: timer presence mismatch", name)
+	}
+	if rt != nil {
+		if len(rt.Events) != len(gt.Events) || rt.Dropped != gt.Dropped {
+			t.Fatalf("%s: %d telemetry events (%d dropped), want %d (%d dropped)",
+				name, len(gt.Events), gt.Dropped, len(rt.Events), rt.Dropped)
+		}
+		for i := range rt.Events {
+			if rt.Events[i] != gt.Events[i] {
+				t.Errorf("%s: telemetry event %d = %+v, want %+v", name, i, gt.Events[i], rt.Events[i])
+			}
+		}
+	}
+}
+
+// TestTranslateParityKernels runs every generated kernel variant to
+// completion on all three tiers at ws 0..2 and requires bit-identical
+// final state.
+func TestTranslateParityKernels(t *testing.T) {
+	for _, v := range kernels.Variants() {
+		v := v
+		t.Run(v.Name, func(t *testing.T) {
+			prog, c := certifySrc(t, v.Harness, false)
+			for ws := 0; ws <= 2; ws++ {
+				t.Run(fmt.Sprintf("ws=%d", ws), func(t *testing.T) {
+					cores := make(map[string]*armv6m.CPU, len(tierNames))
+					for _, tier := range tierNames {
+						cpu := bootTier(t, prog, c, ws, tier, false)
+						if err := cpu.Run(3_000_000); err != nil {
+							t.Fatalf("%s run: %v", tier, err)
+						}
+						cores[tier] = cpu
+					}
+					requireSameState(t, "predecoded vs legacy", cores["legacy"], cores["predecoded"])
+					requireSameState(t, "translated vs legacy", cores["legacy"], cores["translated"])
+				})
+			}
+		})
+	}
+}
+
+// TestTranslateParityTelemetry repeats the parity gate over the
+// telemetry harnesses: the fused blocks must delegate peripheral
+// stores so mailbox events commit at identical retire-time cycle
+// counts on all tiers.
+func TestTranslateParityTelemetry(t *testing.T) {
+	for _, v := range kernels.Variants() {
+		v := v
+		t.Run(v.Name, func(t *testing.T) {
+			prog, c := certifySrc(t, v.TelemetryHarness, true)
+			for ws := 0; ws <= 2; ws++ {
+				refCPU := bootTier(t, prog, c, ws, "legacy", true)
+				if err := refCPU.Run(3_000_000); err != nil {
+					t.Fatalf("legacy run: %v", err)
+				}
+				for _, tier := range []string{"predecoded", "translated"} {
+					cpu := bootTier(t, prog, c, ws, tier, true)
+					if err := cpu.Run(3_000_000); err != nil {
+						t.Fatalf("%s run: %v", tier, err)
+					}
+					requireSameState(t, fmt.Sprintf("%s ws=%d", tier, ws), refCPU, cpu)
+				}
+			}
+		})
+	}
+}
+
+// TestTranslateBudgetLockstep advances a translated core and a
+// predecoded core under identical instruction budgets — including
+// budgets that land inside superblocks and mid-loop — and requires the
+// exact same truncation point, state, and error classification at
+// every checkpoint. This is the lockstep gate at budget granularity:
+// a budget that does not cover a full block pass must degrade to
+// per-instruction execution, not skew the cut point.
+func TestTranslateBudgetLockstep(t *testing.T) {
+	v := kernels.Variants()[0]
+	prog, c := certifySrc(t, v.Harness, false)
+	ref := bootTier(t, prog, c, 1, "predecoded", false)
+	if err := ref.Run(3_000_000); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	total := ref.Instructions
+	budgets := []uint64{0, 1, 2, 3, 5, 8, 13, 21, 100, total / 3, total / 2, total - 1, total, total + 17}
+	for _, k := range budgets {
+		name := fmt.Sprintf("budget=%d", k)
+		p := bootTier(t, prog, c, 1, "predecoded", false)
+		x := bootTier(t, prog, c, 1, "translated", false)
+		perr, xerr := p.Run(k), x.Run(k)
+		var pb, xb *armv6m.BudgetError
+		if errors.As(perr, &pb) != errors.As(xerr, &xb) || (perr == nil) != (xerr == nil) {
+			t.Fatalf("%s: error mismatch: predecoded %v, translated %v", name, perr, xerr)
+		}
+		requireSameState(t, name, p, x)
+	}
+}
+
+// TestTranslateFallbackMidRun drops blocks from the certificate before
+// translation, so the translated core repeatedly crosses from
+// superblocks into uncertified PC ranges (interpreted Steps) and back,
+// and still finishes bit-identical to the predecoded tier.
+func TestTranslateFallbackMidRun(t *testing.T) {
+	v := kernels.Variants()[0]
+	prog, c := certifySrc(t, v.Harness, false)
+	for _, stride := range []int{2, 3} {
+		t.Run(fmt.Sprintf("drop-1-in-%d", stride), func(t *testing.T) {
+			// Deep-copy via JSON round trip, then drop every stride-th block.
+			data, err := c.JSON()
+			if err != nil {
+				t.Fatalf("cert JSON: %v", err)
+			}
+			holed, err := cert.Parse(data)
+			if err != nil {
+				t.Fatalf("cert parse: %v", err)
+			}
+			dropped := 0
+			for fi := range holed.Funcs {
+				f := &holed.Funcs[fi]
+				kept := f.Blocks[:0]
+				for bi := range f.Blocks {
+					if bi%stride == 0 {
+						dropped++
+						continue
+					}
+					kept = append(kept, f.Blocks[bi])
+				}
+				f.Blocks = kept
+			}
+			if dropped == 0 {
+				t.Fatal("no blocks dropped; test is vacuous")
+			}
+			for ws := 0; ws <= 2; ws++ {
+				ref := bootTier(t, prog, c, ws, "predecoded", false)
+				if err := ref.Run(3_000_000); err != nil {
+					t.Fatalf("predecoded run: %v", err)
+				}
+				x := bootTier(t, prog, holed, ws, "translated", false)
+				if err := x.Run(3_000_000); err != nil {
+					t.Fatalf("translated run: %v", err)
+				}
+				requireSameState(t, fmt.Sprintf("ws=%d", ws), ref, x)
+			}
+		})
+	}
+}
+
+// TestTranslateStaleTableFallsBack pins the generation guard: after
+// LoadFlash mutates the image, a stale translation table must not
+// execute — the run drops to the predecoded tier (which rebuilds its
+// own table) with correct results.
+func TestTranslateStaleTableFallsBack(t *testing.T) {
+	v := kernels.Variants()[0]
+	prog, c := certifySrc(t, v.Harness, false)
+	ref := bootTier(t, prog, c, 0, "predecoded", false)
+	if err := ref.Run(3_000_000); err != nil {
+		t.Fatalf("predecoded run: %v", err)
+	}
+	x := bootTier(t, prog, c, 0, "translated", false)
+	// Rewrite the same bytes: contents identical, generation bumped.
+	if err := x.Bus.LoadFlash(int(prog.Base-armv6m.FlashBase), prog.Code); err != nil {
+		t.Fatalf("reload flash: %v", err)
+	}
+	if x.TranslationAttached() {
+		t.Fatal("translation table still attached after LoadFlash")
+	}
+	if err := x.Run(3_000_000); err != nil {
+		t.Fatalf("run after reload: %v", err)
+	}
+	requireSameState(t, "stale-table", ref, x)
+}
+
+// TestTranslateSuperblockCoverage pins the performance machinery
+// itself: the dense kernel's certificate must lower to at least one
+// self-loop superblock with fused MAC ops — if a refactor silently
+// demotes the hot loop back to per-instruction dispatch, this fails
+// before the benchmark regression does.
+func TestTranslateSuperblockCoverage(t *testing.T) {
+	found := false
+	for _, v := range kernels.Variants() {
+		if v.Name != "k_dense" {
+			continue
+		}
+		found = true
+		prog, c := certifySrc(t, v.Harness, false)
+		cpu := armv6m.New()
+		if err := cpu.Bus.LoadFlash(int(prog.Base-armv6m.FlashBase), prog.Code); err != nil {
+			t.Fatalf("load code: %v", err)
+		}
+		tt := cert.Translate(c, cpu.PredecodeNow())
+		if tt == nil {
+			t.Fatalf("%s: nothing translated", v.Name)
+		}
+		if tt.Blocks() == 0 {
+			t.Fatalf("%s: zero translated blocks", v.Name)
+		}
+		if tt.SelfLoops() == 0 {
+			t.Errorf("%s: no self-loop superblocks (inner loop not translated)", v.Name)
+		}
+		if tt.FusedInstrs() == 0 {
+			t.Errorf("%s: no fused instructions (MAC/latch peepholes not firing)", v.Name)
+		}
+		t.Logf("%s: %d blocks, %d self-loops, %d fused instrs, build %v",
+			v.Name, tt.Blocks(), tt.SelfLoops(), tt.FusedInstrs(), tt.BuildTime())
+	}
+	if !found {
+		t.Fatal("k_dense variant not found")
+	}
+}

@@ -31,6 +31,12 @@ type Config struct {
 	// are bit-identical for every value — parallelism only changes
 	// wall-clock time.
 	Workers int
+
+	// Tier pins the emulator execution tier for device measurements
+	// (`neuroc-bench -tier`); the zero value keeps the fastest available
+	// tier. All tiers are bit-identical — the tier only changes host
+	// wall-clock figures.
+	Tier device.Tier
 }
 
 // Runner executes experiments, caching generated datasets and trained

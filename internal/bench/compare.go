@@ -88,6 +88,7 @@ func compareMetric(o, n *Metric, tolerance float64) []string {
 	exact("params", o.Params, n.Params)
 	exact("deployable", o.Deployable, n.Deployable)
 	exact("workers", o.Workers, n.Workers)
+	exact("tier", o.Tier, n.Tier)
 	exact("error", o.Error, n.Error)
 	// Energy keys are priced from exact cycle counts by a fixed model:
 	// fully deterministic, so they gate exactly like cycles do.
@@ -124,6 +125,7 @@ func compareMetric(o, n *Metric, tolerance float64) []string {
 		banded("speedup", o.Speedup, n.Speedup)
 		banded("host_mips", o.HostMIPS, n.HostMIPS)
 		banded("predecode_build_ms", o.PredecodeBuildMS, n.PredecodeBuildMS)
+		banded("translate_build_ms", o.TranslateBuildMS, n.TranslateBuildMS)
 	}
 	return diffs
 }

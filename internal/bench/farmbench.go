@@ -5,6 +5,7 @@ import (
 	"runtime"
 
 	"github.com/neuro-c/neuroc/internal/dataset"
+	"github.com/neuro-c/neuroc/internal/device"
 	"github.com/neuro-c/neuroc/internal/report"
 )
 
@@ -78,14 +79,58 @@ func (r *Runner) FarmBench() *report.Table {
 			Speedup: speedup, Deployable: true,
 			HostMIPS:         stats.HostMIPS(),
 			PredecodeBuildMS: float64(stats.PredecodeBuild.Microseconds()) / 1000,
+			Tier:             tierName(r.cfg.Tier),
+			TranslateBuildMS: float64(stats.TranslateBuild.Microseconds()) / 1000,
 		})
 		r.logf("farm -j %d: acc %.4f, %d samples in %.0f ms (%.0f inf/s, %.2fx, %.0f host MIPS, predecode %.2f ms)",
 			j, acc, stats.Items, wallMS, stats.Throughput(), speedup,
 			stats.HostMIPS(), float64(stats.PredecodeBuild.Microseconds())/1000)
 	}
+	// Tier comparison point: the same reference pool pinned to the
+	// predecoded tier. The accuracy and per-input cycles are identical
+	// by construction (exact-gated); only the host-MIPS figure moves,
+	// which is the translated tier's speedup in the metrics trajectory.
+	o.dep.Workers = 4
+	o.dep.Tier = device.TierPredecoded
+	acc, stats, err := o.dep.DeviceAccuracyChecked(full, 0)
+	if err != nil {
+		panic(fmt.Sprintf("bench: farm predecoded-tier evaluation: %v", err))
+	}
+	if acc != hostAcc {
+		panic(fmt.Sprintf("bench: predecoded-tier accuracy %.4f diverges from host reference %.4f", acc, hostAcc))
+	}
+	predWallMS := float64(stats.Wall.Microseconds()) / 1000
+	predSpeedup := 1.0
+	if predWallMS > 0 {
+		predSpeedup = baseWallMS / predWallMS
+	}
+	r.record(Metric{
+		Name: "farm-digits-j4-predecoded", Kind: "farm",
+		Cycles: stats.MeanCycles, LatencyMS: stats.LatencyMS(),
+		Accuracy: acc, AccuracyFloat: o.floatAcc,
+		AccuracyDevice: acc, DeviceAccuracyN: stats.Items,
+		FlashBytes: o.bytes, RAMBytes: o.dep.Img.RAMBytes,
+		Workers: 4, WallMS: predWallMS,
+		InfersPerSec: stats.Throughput(), Speedup: predSpeedup, Deployable: true,
+		HostMIPS:         stats.HostMIPS(),
+		PredecodeBuildMS: float64(stats.PredecodeBuild.Microseconds()) / 1000,
+		Tier:             string(device.TierPredecoded),
+	})
+	r.logf("farm -j 4 (predecoded tier): acc %.4f, %.0f host MIPS", acc, stats.HostMIPS())
 	o.dep.Workers = r.cfg.Workers
+	o.dep.Tier = r.cfg.Tier
 	t.Note = "identical accuracy and per-input cycles at every pool size (bit-deterministic); speedup is host wall-clock only"
 	return t
+}
+
+// tierName renders a device.Tier for the metrics document, naming the
+// zero value explicitly so the exact-gated "tier" key never reads as
+// silently absent.
+func tierName(t device.Tier) string {
+	if t == device.TierAuto {
+		return "auto"
+	}
+	return string(t)
 }
 
 // fullDataset returns the complete (never subsampled) dataset for name,

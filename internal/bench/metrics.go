@@ -52,10 +52,10 @@ type Metric struct {
 	// Farm evaluation records (kind "farm"): pool size, host wall-clock
 	// for the batch, host-side inference throughput, and wall-clock
 	// speedup over the single-board run of the same batch.
-	Workers       int     `json:"workers,omitempty"`
-	WallMS        float64 `json:"wall_ms,omitempty"`
-	InfersPerSec  float64 `json:"infers_per_sec,omitempty"`
-	Speedup       float64 `json:"speedup,omitempty"`
+	Workers      int     `json:"workers,omitempty"`
+	WallMS       float64 `json:"wall_ms,omitempty"`
+	InfersPerSec float64 `json:"infers_per_sec,omitempty"`
+	Speedup      float64 `json:"speedup,omitempty"`
 
 	// Emulation-throughput observability: millions of emulated
 	// instructions retired per host second across the pool, and the
@@ -63,6 +63,14 @@ type Metric struct {
 	// shared execution table. Optional — only farm records carry them.
 	HostMIPS         float64 `json:"host_mips,omitempty"`
 	PredecodeBuildMS float64 `json:"predecode_build_ms,omitempty"`
+
+	// Tier is the execution tier the record ran on ("auto", "legacy",
+	// "predecoded", "translated"); exact-gated, so a silent tier change
+	// fails metricscheck -compare. TranslateBuildMS is the one-time host
+	// cost of building the superblock translation table (wall-clock,
+	// band-gated like predecode_build_ms).
+	Tier             string  `json:"tier,omitempty"`
+	TranslateBuildMS float64 `json:"translate_build_ms,omitempty"`
 
 	// Layers is the per-layer cycle attribution measured on-device by
 	// the telemetry marker pipeline (internal/telemetry), corrected for
@@ -182,7 +190,7 @@ func ValidateMetricsJSON(data []byte) error {
 			}
 		}
 		// Optional observability keys must be numbers when present.
-		for _, k := range []string{"host_mips", "predecode_build_ms"} {
+		for _, k := range []string{"host_mips", "predecode_build_ms", "translate_build_ms"} {
 			raw, ok := e[k]
 			if !ok {
 				continue

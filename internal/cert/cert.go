@@ -43,6 +43,23 @@ func (f Formula) Eval(ws uint64) uint64 { return f.Base + f.WS*ws }
 // Add returns the sum of two formulas.
 func (f Formula) Add(g Formula) Formula { return Formula{Base: f.Base + g.Base, WS: f.WS + g.WS} }
 
+// Mul scales a formula by an execution count: n back-to-back retires
+// cost n·Base + n·WS·ws. This is how superblock translation prices a
+// certified loop body per proven iteration.
+func (f Formula) Mul(n uint64) Formula { return Formula{Base: f.Base * n, WS: f.WS * n} }
+
+// NotTakenCost sums the member instructions' formulas with a
+// conditional terminator at its not-taken cost — the closed form the
+// block's Cost field must equal. Consumers cross-check the block
+// against its instructions with this before trusting either.
+func (b *Block) NotTakenCost() Formula {
+	var f Formula
+	for i := range b.Instrs {
+		f = f.Add(b.Instrs[i].Cost)
+	}
+	return f
+}
+
 // MemClass is the proven memory region of a data access.
 type MemClass string
 

@@ -196,8 +196,12 @@ func (k *Checker) index(addr uint32) (int, bool) {
 	return int(addr-k.base) / 2, true
 }
 
-// Attach binds the checker to a trace, chaining any hook already set.
-func (k *Checker) Attach(t *armv6m.Trace) {
+// Attach binds the checker to a trace, chaining any hook already set:
+// the caller's hook still fires first, on every event, and sees them
+// unmodified. The returned detach restores the trace's previous hook,
+// so a caller-supplied trace comes back exactly as it went in once the
+// checked run is over.
+func (k *Checker) Attach(t *armv6m.Trace) (detach func()) {
 	k.trace = t
 	prev := t.OnInstr
 	t.OnInstr = func(ii armv6m.InstrInfo) {
@@ -206,6 +210,7 @@ func (k *Checker) Attach(t *armv6m.Trace) {
 		}
 		k.OnInstr(ii)
 	}
+	return func() { t.OnInstr = prev }
 }
 
 // Err returns the first mismatch observed so far, or nil.

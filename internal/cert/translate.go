@@ -1,0 +1,97 @@
+package cert
+
+import "github.com/neuro-c/neuroc/internal/armv6m"
+
+// Certificate-to-translator lowering: the superblock tier
+// (armv6m/translate.go) consumes certified facts through neutral DTOs
+// so the emulator package never imports this one. The lowering is
+// purely an evaluation of the certificate — block layout, per-
+// instruction closed-form costs, bus-counter deltas, proven memory
+// regions, and self-loop trip bounds pass through unchanged; the
+// translator re-derives and cross-checks every cost before using it.
+
+// regionOf maps a certified memory class to the translator's region
+// enum.
+func regionOf(m MemClass) uint8 {
+	switch m {
+	case ClassFlash:
+		return armv6m.RegionFlash
+	case ClassSRAM:
+		return armv6m.RegionSRAM
+	case ClassPeriph:
+		return armv6m.RegionPeriph
+	}
+	return armv6m.RegionNone
+}
+
+// Superblocks lowers the certificate to the translator's block DTOs:
+// every certified basic block of every function, with single-block
+// natural loops (header == only member == only latch) annotated with
+// their proven trip bound so the translator can iterate them without
+// re-entering dispatch.
+func (c *Certificate) Superblocks() []armv6m.CertBlock {
+	var out []armv6m.CertBlock
+	for fi := range c.Funcs {
+		f := &c.Funcs[fi]
+		selfBound := make(map[uint32]uint64)
+		for li := range f.Loops {
+			l := &f.Loops[li]
+			if l.Bound > 0 && len(l.Blocks) == 1 && l.Blocks[0] == l.Header &&
+				len(l.Latches) == 1 && l.Latches[0] == l.Header {
+				selfBound[l.Header] = l.Bound
+			}
+		}
+		for bi := range f.Blocks {
+			b := &f.Blocks[bi]
+			cb := armv6m.CertBlock{
+				Start:      b.Start,
+				End:        b.End,
+				TakenExtra: b.TakenExtra,
+				Instrs:     make([]armv6m.CertInstr, len(b.Instrs)),
+			}
+			for ii := range b.Instrs {
+				in := &b.Instrs[ii]
+				cb.Instrs[ii] = armv6m.CertInstr{
+					Addr:       in.Addr,
+					Size:       in.Size,
+					CostBase:   in.Cost.Base,
+					CostWS:     in.Cost.WS,
+					TakenExtra: in.TakenExtra,
+					FlashReads: in.FlashReads,
+					SRAMReads:  in.SRAMReads,
+					SRAMWrites: in.SRAMWrites,
+					Region:     regionOf(in.Mem),
+					Store:      in.Store,
+					Exact:      in.Exact,
+					Target:     in.Target,
+					Call:       in.Call,
+					Ret:        in.Ret,
+					Halt:       in.Halt,
+				}
+			}
+			if bound, ok := selfBound[b.Start]; ok {
+				cb.SelfLoop, cb.Bound = true, bound
+			}
+			out = append(out, cb)
+		}
+	}
+	return out
+}
+
+// Translate builds the superblock translation table for a certified
+// image over its predecode table. Returns nil when nothing translates:
+// nil certificate, unknown version, or no block that survives the
+// translator's structural validation. The table inherits the
+// certificate's cycle-model pin (profile, refill, MULS cost); a core
+// configured differently falls back to the predecoded tier at run
+// time rather than executing under the wrong model.
+func Translate(c *Certificate, pt *armv6m.PredecodeTable) *armv6m.TranslationTable {
+	if c == nil || c.Version != Version || pt == nil {
+		return nil
+	}
+	return armv6m.Translate(pt, c.Superblocks(), armv6m.TranslationConfig{
+		Profile:        c.Profile,
+		PipelineRefill: c.PipelineRefill,
+		MulCycles:      c.MulCycles,
+	})
+}

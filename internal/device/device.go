@@ -7,6 +7,7 @@ package device
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/neuro-c/neuroc/internal/armv6m"
 	"github.com/neuro-c/neuroc/internal/cert"
@@ -90,10 +91,46 @@ func CyclesToMS(cycles uint64) float64 {
 	return float64(cycles) / float64(ClockHz) * 1000
 }
 
+// Tier selects the execution tier for a device's runs. The zero value
+// picks the fastest path available: superblock translation when the
+// image's certificate produced a table, the predecoded interpreter
+// otherwise, with the emulator's own mid-run fallback rules
+// (docs/EMULATOR.md, "Execution tiers") applying throughout. The
+// explicit tiers pin a run to one engine — for differential testing,
+// benchmarking a specific tier, or reproducing legacy numbers.
+type Tier string
+
+// Execution tiers, slowest to fastest.
+const (
+	TierAuto       Tier = ""
+	TierLegacy     Tier = "legacy"
+	TierPredecoded Tier = "predecoded"
+	TierTranslated Tier = "translated"
+)
+
+// ParseTier validates a tier name from a CLI flag or config file.
+func ParseTier(s string) (Tier, error) {
+	switch t := Tier(s); t {
+	case TierAuto, TierLegacy, TierPredecoded, TierTranslated:
+		return t, nil
+	case "auto":
+		return TierAuto, nil
+	}
+	return "", fmt.Errorf("device: unknown tier %q (want auto, legacy, predecoded, or translated)", s)
+}
+
 // Device is a booted board holding a loaded image.
 type Device struct {
 	CPU *armv6m.CPU
 	Img *modelimg.Image
+
+	// Tier pins the execution tier for every Run; TierAuto (the zero
+	// value) uses the fastest path available. TierTranslated fails the
+	// run when the image carries no certificate or the certificate
+	// produced no translation table, and when combined with tracing or
+	// checked execution (those retire through the tracing interpreter,
+	// which would silently be a different tier).
+	Tier Tier
 
 	// Budget overrides the per-inference instruction budget when
 	// non-zero; zero uses MaxInstructions. Exposed so harnesses that
@@ -121,7 +158,9 @@ func New(img *modelimg.Image) (*Device, error) {
 	if err := cpu.Bus.LoadFlash(0, img.Prog.Code); err != nil {
 		return nil, fmt.Errorf("device: %w", err)
 	}
-	cpu.PredecodeNow()
+	if tt := cert.Translate(img.Cert, cpu.PredecodeNow()); tt != nil {
+		cpu.UseTranslation(tt)
+	}
 	d := &Device{CPU: cpu, Img: img}
 	d.attachTimer()
 	return d, nil
@@ -174,27 +213,45 @@ type FlashImage struct {
 	Img   *modelimg.Image
 	Flash []byte
 	Table *armv6m.PredecodeTable
+
+	// Trans is the superblock translation table built from the image's
+	// certificate, nil when the image has none (or nothing translated).
+	// Like Table it is immutable and shared by every board.
+	Trans *armv6m.TranslationTable
+
+	// TransBuild is the one-time host cost of building Trans, the
+	// translated-tier analogue of Table.BuildTime().
+	TransBuild time.Duration
 }
 
-// NewFlashImage builds the shared flash array and predecodes the image
-// text once.
+// NewFlashImage builds the shared flash array, predecodes the image
+// text once, and — when the image carries a certificate — builds the
+// shared superblock translation table.
 func NewFlashImage(img *modelimg.Image) (*FlashImage, error) {
 	flash, err := SharedFlash(img)
 	if err != nil {
 		return nil, err
 	}
+	table := armv6m.Predecode(flash, len(img.Prog.Code))
+	start := time.Now()
+	trans := cert.Translate(img.Cert, table)
 	return &FlashImage{
-		Img:   img,
-		Flash: flash,
-		Table: armv6m.Predecode(flash, len(img.Prog.Code)),
+		Img:        img,
+		Flash:      flash,
+		Table:      table,
+		Trans:      trans,
+		TransBuild: time.Since(start),
 	}, nil
 }
 
 // NewBoard boots a fresh board on the shared flash and attaches the
-// shared predecode table.
+// shared predecode and translation tables.
 func (f *FlashImage) NewBoard() *Device {
 	d := NewOnFlash(f.Img, f.Flash)
 	d.CPU.UsePredecode(f.Table)
+	if f.Trans != nil {
+		d.CPU.UseTranslation(f.Trans)
+	}
 	return d
 }
 
@@ -225,6 +282,52 @@ func (d *Device) run(input []int8, trace *armv6m.Trace) (*Result, error) {
 	if len(input) != d.Img.InDim {
 		return nil, fmt.Errorf("device: input length %d, want %d", len(input), d.Img.InDim)
 	}
+	// Validate the whole configuration — tier, certificate, checker —
+	// before touching the core, so a refused run leaves the board
+	// exactly as it was.
+	switch d.Tier {
+	case TierAuto:
+		d.CPU.DisablePredecode = false
+		d.CPU.DisableTranslation = false
+	case TierLegacy:
+		d.CPU.DisablePredecode = true
+	case TierPredecoded:
+		d.CPU.DisablePredecode = false
+		d.CPU.DisableTranslation = true
+	case TierTranslated:
+		if d.Img.Cert == nil {
+			return nil, fmt.Errorf("device: translated tier requires an image certificate")
+		}
+		if !d.CPU.TranslationAttached() {
+			return nil, fmt.Errorf("device: image certificate produced no translation table")
+		}
+		if d.Checked || trace != nil {
+			return nil, fmt.Errorf("device: translated tier cannot run traced or checked (those retire through the tracing interpreter); use TierAuto")
+		}
+		d.CPU.DisablePredecode = false
+		d.CPU.DisableTranslation = false
+	default:
+		return nil, fmt.Errorf("device: unknown tier %q", string(d.Tier))
+	}
+	var chk *cert.Checker
+	if d.Checked {
+		if d.Img.Cert == nil {
+			return nil, fmt.Errorf("device: checked execution requires an image certificate")
+		}
+		var err error
+		chk, err = cert.NewChecker(d.Img.Cert, d.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("device: checked execution: %w", err)
+		}
+		if trace == nil {
+			trace = armv6m.NewTrace()
+		}
+		// The checker chains behind any caller-supplied hook and is
+		// detached afterwards, so the caller's trace comes back with
+		// its own hook intact and its events unmodified.
+		detach := chk.Attach(trace)
+		defer detach()
+	}
 	if err := d.CPU.Reset(); err != nil {
 		return nil, err
 	}
@@ -232,21 +335,6 @@ func (d *Device) run(input []int8, trace *armv6m.Trace) (*Result, error) {
 	d.CPU.Cycles = 0
 	d.CPU.Instructions = 0
 	d.CPU.SleepCycles = 0
-	var chk *cert.Checker
-	if d.Checked {
-		if d.Img.Cert == nil {
-			return nil, fmt.Errorf("device: checked execution requires an image certificate")
-		}
-		if trace == nil {
-			trace = armv6m.NewTrace()
-		}
-		var err error
-		chk, err = cert.NewChecker(d.Img.Cert, d.CPU)
-		if err != nil {
-			return nil, fmt.Errorf("device: checked execution: %w", err)
-		}
-		chk.Attach(trace)
-	}
 	d.CPU.Trace = trace
 	defer func() { d.CPU.Trace = nil }()
 	if t := d.CPU.Bus.Timer; t != nil {

@@ -49,6 +49,13 @@ type Options struct {
 	// mismatch surfaces as that item's Err. Slower (tracing path) but
 	// architecturally bit-identical.
 	Checked bool
+
+	// Tier pins the execution tier on every board (device.Device.Tier).
+	// The zero value (TierAuto) keeps the fastest available tier; an
+	// explicit tier that cannot be honored — TierTranslated without a
+	// certificate, or combined with Checked — fails the whole Map up
+	// front rather than per item, since no input could ever succeed.
+	Tier device.Tier
 }
 
 // Result is the measurement for one input, at the same index Map
@@ -104,6 +111,11 @@ type Stats struct {
 	// PredecodeBuild is the one-time host cost of decoding the image
 	// into the execution table shared by every worker.
 	PredecodeBuild time.Duration
+
+	// TranslateBuild is the one-time host cost of building the shared
+	// superblock translation table from the image's certificate (zero
+	// when the image carries none).
+	TranslateBuild time.Duration
 }
 
 // LatencyMS is the mean emulated latency per successful inference.
@@ -145,6 +157,19 @@ func Map(img *modelimg.Image, inputs [][]int8, opts Options) ([]Result, *Stats, 
 	if err != nil {
 		return nil, nil, err
 	}
+	if _, err := device.ParseTier(string(opts.Tier)); err != nil {
+		return nil, nil, fmt.Errorf("farm: %w", err)
+	}
+	if opts.Tier == device.TierTranslated {
+		// No input could succeed under an unhonorable tier request, so
+		// fail the whole batch before spawning workers.
+		if opts.Checked {
+			return nil, nil, fmt.Errorf("farm: translated tier cannot run checked")
+		}
+		if fi.Trans == nil {
+			return nil, nil, fmt.Errorf("farm: translated tier requires an image certificate that translates")
+		}
+	}
 	start := time.Now()
 	results := make([]Result, len(inputs))
 	var next atomic.Int64
@@ -156,6 +181,7 @@ func Map(img *modelimg.Image, inputs [][]int8, opts Options) ([]Result, *Stats, 
 			board := fi.NewBoard()
 			board.Budget = opts.Budget
 			board.Checked = opts.Checked
+			board.Tier = opts.Tier
 			if opts.Configure != nil {
 				opts.Configure(board)
 			}
@@ -185,6 +211,7 @@ func Map(img *modelimg.Image, inputs [][]int8, opts Options) ([]Result, *Stats, 
 	stats := &Stats{
 		Items: len(inputs), Workers: workers, Wall: time.Since(start),
 		PredecodeBuild: fi.Table.BuildTime(),
+		TranslateBuild: fi.TransBuild,
 	}
 	var firstErr error
 	for i := range results {

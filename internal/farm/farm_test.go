@@ -402,3 +402,41 @@ func TestSharedFlashRejectsOversizedImage(t *testing.T) {
 		t.Error("device.New accepted an oversized image")
 	}
 }
+
+// TestTierParityAcrossFarm pins that an explicit execution tier changes
+// only host speed: outputs, cycles, and instruction counts per input are
+// bit-identical across legacy, predecoded, and translated farms, and an
+// unhonorable tier request fails the whole batch up front.
+func TestTierParityAcrossFarm(t *testing.T) {
+	img := testImage(t)
+	inputs := testInputs(20, img.InDim)
+
+	ref, _, err := farm.Map(img, inputs, farm.Options{Workers: 4, Tier: device.TierLegacy})
+	if err != nil {
+		t.Fatalf("legacy farm: %v", err)
+	}
+	for _, tier := range []device.Tier{device.TierPredecoded, device.TierTranslated, device.TierAuto} {
+		got, _, err := farm.Map(img, inputs, farm.Options{Workers: 4, Tier: tier})
+		if err != nil {
+			t.Fatalf("tier %q farm: %v", tier, err)
+		}
+		for i := range ref {
+			if fmt.Sprint(got[i].Output) != fmt.Sprint(ref[i].Output) ||
+				got[i].Cycles != ref[i].Cycles || got[i].Instructions != ref[i].Instructions {
+				t.Fatalf("tier %q input %d diverges: %+v vs %+v", tier, i, got[i], ref[i])
+			}
+		}
+	}
+
+	if _, _, err := farm.Map(img, inputs, farm.Options{Tier: device.TierTranslated, Checked: true}); err == nil {
+		t.Error("translated+checked farm did not fail up front")
+	}
+	stripped := *img
+	stripped.Cert = nil
+	if _, _, err := farm.Map(&stripped, inputs, farm.Options{Tier: device.TierTranslated}); err == nil {
+		t.Error("translated farm on a certificate-less image did not fail up front")
+	}
+	if _, _, err := farm.Map(img, inputs, farm.Options{Tier: device.Tier("jit")}); err == nil {
+		t.Error("unknown tier did not fail up front")
+	}
+}

@@ -47,16 +47,32 @@ go run ./cmd/asmcheck -kernels -cert > /dev/null
 echo "== checked execution (certificates validated at retire time, both interpreters)"
 go test -run 'TestVariantCertExactness|TestModelChecked' -count=1 ./internal/cert/
 
+echo "== translation parity (superblock tier bit-identical to both interpreters)"
+# Every kernel variant at ws 0-2 on legacy/predecoded/translated, plus
+# telemetry parity, budget lockstep, holed-certificate and stale-table
+# fallback, device/farm tier selection, and the fuzz seeds (the full
+# corpus replays in the plain `go test` stages above).
+go test -run 'TestTranslate|TestTier|FuzzTranslateParity' -count=1 \
+	./internal/armv6m/ ./internal/device/ ./internal/farm/
+
 echo "== farm race-stress (shared-flash board farm under the race detector)"
 go test -race -count=1 ./internal/farm/...
 
-echo "== bench-regression smoke (predecoded fast interpreter still wired up)"
-# One iteration of the paired Predecoded/Legacy benchmarks: proves the
-# predecoded path is selected, runs, and stays in parity with the
-# legacy interpreter (the benchmark bodies assert nothing but would
-# fail on any execution error). Real throughput comparisons need
-# -benchtime 1s and an idle host; this is a wiring gate, not a perf gate.
+echo "== bench-regression smoke (all three execution tiers still wired up)"
+# One iteration of the Translated/Predecoded/Legacy benchmarks: proves
+# each tier is selected, runs, and stays in parity (the benchmark
+# bodies assert translation attachment and would fail on any execution
+# error). Real throughput comparisons need -benchtime 1s and an idle
+# host; this is a wiring gate, not a perf gate.
 go test -run '^$' -bench 'Inference|FarmMap' -benchtime 1x ./internal/armv6m/ ./internal/farm/
+
+echo "== bench-smoke on the translated tier (explicit -tier plumbing end to end)"
+# The farm experiment pinned to -tier translated: exercises the tier
+# flag through neuroc-bench -> Config -> Deployment -> farm -> device,
+# and panics inside the run on any accuracy/cycle divergence from the
+# host reference. No metrics file: the tier key would differ from the
+# auto-tier baseline by construction.
+go run ./cmd/neuroc-bench -exp farm -quick -j 4 -tier translated > /dev/null
 
 echo "== bench-smoke (quick device-measured experiments + metrics JSON)"
 # table1/fig2/fig3/fig5 are the training-free experiments: they deploy
