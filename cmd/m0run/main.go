@@ -76,7 +76,7 @@ import (
 func main() {
 	img := flag.String("img", "", "flash image file (or -model)")
 	model := flag.String("model", "", "NCQ1 quantized model file: builds and runs a flash image")
-	encName := flag.String("encoding", "block", "adjacency encoding when using -model")
+	encName := flag.String("encoding", "block", "adjacency encoding when using -model (block, csc, delta, mixed, unrolled, auto)")
 	in := flag.String("in", "", "raw bytes to preload into SRAM")
 	inAddr := flag.String("in-addr", "0x20000000", "SRAM address for -in")
 	dumpAddr := flag.String("dump-addr", "", "SRAM address to dump after halt")
@@ -152,12 +152,19 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		enc := map[string]modelimg.EncodingChoice{
-			"block": modelimg.UseBlock, "csc": modelimg.UseCSC,
-			"delta": modelimg.UseDelta, "mixed": modelimg.UseMixed,
-		}[*encName]
+		// A typo'd encoding used to silently fall back to the map zero
+		// value (block); now it is a hard error listing the valid names.
+		enc, err := modelimg.ParseEncoding(*encName)
+		if err != nil {
+			fatal(err)
+		}
 		image, err = modelimg.BuildOpts(qm, modelimg.BuildOptions{Encoding: enc, Telemetry: *layers || *energyRep})
 		if err != nil {
+			var nd *modelimg.ErrNotDeployable
+			if errors.As(err, &nd) && enc == modelimg.UseUnrolled {
+				fatal(fmt.Errorf("%w\nthe unrolled encoding trades flash for speed and this model does not fit; "+
+					"use -encoding auto to search for the fastest per-layer mix that does", err))
+			}
 			fatal(err)
 		}
 		code = image.Prog.Code

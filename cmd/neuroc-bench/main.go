@@ -23,6 +23,7 @@ import (
 
 	"github.com/neuro-c/neuroc/internal/bench"
 	"github.com/neuro-c/neuroc/internal/device"
+	"github.com/neuro-c/neuroc/internal/modelimg"
 	"github.com/neuro-c/neuroc/internal/report"
 )
 
@@ -47,6 +48,9 @@ var experiments = []struct {
 		a, b := r.Fig5()
 		a.Fprint(w)
 		b.Fprint(w)
+	}},
+	{"pareto", "latency/flash frontier: block vs unrolled vs auto search", func(r *bench.Runner, w io.Writer) {
+		r.Pareto().Fprint(w)
 	}},
 	{"fig6", "MNIST: MLP sweep vs Neuro-C scales", func(r *bench.Runner, w io.Writer) {
 		for _, t := range r.Fig6() {
@@ -84,6 +88,7 @@ func main() {
 	metrics := flag.String("metrics", "", "write structured per-experiment metrics JSON to this file")
 	workers := flag.Int("j", 0, "board-farm workers for device measurements (0 = all host cores); results are bit-identical for any value")
 	tierFlag := flag.String("tier", "auto", "emulator execution tier for device measurements (auto, legacy, predecoded, translated); results are bit-identical for any tier")
+	encFlag := flag.String("encoding", "block", "deployment encoding for model experiments (block, csc, delta, mixed, unrolled, auto)")
 	cpuprofile := flag.String("cpuprofile", "", "write a host pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a host pprof heap profile to this file on exit")
 	flag.Parse()
@@ -107,7 +112,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "neuroc-bench:", err)
 		os.Exit(1)
 	}
-	cfg := bench.Config{Quick: *quick, Seed: *seed, Workers: *workers, Tier: tier}
+	enc, err := modelimg.ParseEncoding(*encFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "neuroc-bench:", err)
+		os.Exit(1)
+	}
+	cfg := bench.Config{Quick: *quick, Seed: *seed, Workers: *workers, Tier: tier, Encoding: enc}
 	if *verbose {
 		cfg.Log = os.Stderr
 	}

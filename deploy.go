@@ -134,6 +134,7 @@ func (d *Deployment) MeasureLayers(ds *Dataset, runs int) ([]telemetry.LayerStat
 	}
 	img, err := modelimg.BuildOpts(d.QModel, modelimg.BuildOptions{
 		Encoding:  d.Encoding,
+		PerLayer:  d.Img.Encodings,
 		Telemetry: true,
 	})
 	if err != nil {
@@ -163,6 +164,7 @@ func (d *Deployment) MeasureEnergy(ds *Dataset, runs int) (*telemetry.EnergyAggr
 	}
 	img, err := modelimg.BuildOpts(d.QModel, modelimg.BuildOptions{
 		Encoding:  d.Encoding,
+		PerLayer:  d.Img.Encodings,
 		Telemetry: true,
 	})
 	if err != nil {

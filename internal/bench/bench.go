@@ -37,6 +37,14 @@ type Config struct {
 	// tier. All tiers are bit-identical — the tier only changes host
 	// wall-clock figures.
 	Tier device.Tier
+
+	// Encoding selects the deployment encoding for trained-model
+	// experiments (`neuroc-bench -encoding`). The zero value is the
+	// paper's block scheme; UseUnrolled deploys the straight-line
+	// weight-specialized kernels, UseAuto runs the certificate-priced
+	// per-layer search. Microbenchmarks that sweep encodings by design
+	// (fig5, pareto) ignore it.
+	Encoding modelimg.EncodingChoice
 }
 
 // Runner executes experiments, caching generated datasets and trained
@@ -156,9 +164,17 @@ type measurement struct {
 // size (the mean is unchanged by worker count: emulation is
 // deterministic).
 func measureModel(m *quant.Model, enc modelimg.EncodingChoice, runs, workers int) (*measurement, error) {
-	img, err := modelimg.Build(m, enc)
+	meas, _, err := measureModelOpts(m, modelimg.BuildOptions{Encoding: enc}, runs, workers)
+	return meas, err
+}
+
+// measureModelOpts is measureModel over full build options (per-layer
+// encoding mixes, the auto search), also returning the built image so
+// callers can report the resolved encoding and footprint split.
+func measureModelOpts(m *quant.Model, opts modelimg.BuildOptions, runs, workers int) (*measurement, *modelimg.Image, error) {
+	img, err := modelimg.BuildOpts(m, opts)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	r := rng.New(77)
 	in := make([]int8, m.Layers[0].In)
@@ -171,7 +187,7 @@ func measureModel(m *quant.Model, enc modelimg.EncodingChoice, runs, workers int
 	}
 	results, _, err := farm.Map(img, inputs, farm.Options{Workers: workers})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var cycles, instrs uint64
 	for _, res := range results {
@@ -186,22 +202,37 @@ func measureModel(m *quant.Model, enc modelimg.EncodingChoice, runs, workers int
 		instructions: instrs,
 		flashBytes:   img.TotalBytes(),
 		ramBytes:     img.RAMBytes,
-	}, nil
+	}, img, nil
 }
 
 // measureMicro runs measureModel and records the result as a
 // microbenchmark metric under name.
 func (r *Runner) measureMicro(name string, m *quant.Model, enc modelimg.EncodingChoice, runs int) (*measurement, error) {
-	meas, err := measureModel(m, enc, runs, r.cfg.Workers)
+	meas, _, err := r.measureMicroOpts(name, m, modelimg.BuildOptions{Encoding: enc}, runs)
+	return meas, err
+}
+
+// measureMicroOpts is measureMicro over full build options; the recorded
+// encoding label is the resolved per-layer choice (so an auto search
+// records what it actually picked, e.g. "auto(unrolled/4)").
+func (r *Runner) measureMicroOpts(name string, m *quant.Model, opts modelimg.BuildOptions, runs int) (*measurement, *modelimg.Image, error) {
+	label := opts.Encoding.String()
+	if len(opts.PerLayer) > 0 {
+		label = opts.PerLayer[0].String()
+	}
+	meas, img, err := measureModelOpts(m, opts, runs, r.cfg.Workers)
 	if err != nil {
-		r.record(Metric{Name: name, Kind: "micro", Encoding: enc.String(), Error: err.Error()})
-		return nil, err
+		r.record(Metric{Name: name, Kind: "micro", Encoding: label, Error: err.Error()})
+		return nil, nil, err
+	}
+	if opts.Encoding == modelimg.UseAuto && len(opts.PerLayer) == 0 && len(img.Encodings) > 0 {
+		label = fmt.Sprintf("auto(%s)", img.Encodings[0])
 	}
 	r.record(Metric{
-		Name: name, Kind: "micro", Encoding: enc.String(),
+		Name: name, Kind: "micro", Encoding: label,
 		Cycles: meas.cycles, Instructions: meas.instructions,
 		LatencyMS: meas.ms, FlashBytes: meas.flashBytes, RAMBytes: meas.ramBytes,
 		Deployable: true,
 	})
-	return meas, nil
+	return meas, img, nil
 }

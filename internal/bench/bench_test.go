@@ -66,6 +66,51 @@ func TestFig5Quick(t *testing.T) {
 	}
 }
 
+func TestParetoQuick(t *testing.T) {
+	r := quickRunner()
+	tb := r.Pareto()
+	if len(tb.Rows) != 5 {
+		t.Fatalf("pareto rows = %d, want 5 (block, unr1, unr2, unr4, auto)", len(tb.Rows))
+	}
+	// The acceptance property of the tentpole: the weight-specialized
+	// unrolled kernel must measurably beat the block encoding in cycles
+	// (it trades flash for exactly that), and the auto search must be at
+	// least as fast as every fixed encoding it chose between.
+	mf := r.Metrics()
+	cycles := map[string]uint64{}
+	flash := map[string]int{}
+	for _, m := range mf.Experiments {
+		if !strings.HasPrefix(m.Name, "pareto-") || !m.Deployable {
+			continue
+		}
+		key := strings.TrimSuffix(strings.TrimPrefix(m.Name, "pareto-"), "-out32")
+		cycles[key] = m.Cycles
+		flash[key] = m.FlashBytes
+	}
+	for _, key := range []string{"block", "unr1", "unr2", "unr4", "auto"} {
+		if cycles[key] == 0 {
+			t.Fatalf("pareto record for %s missing or cycle-free", key)
+		}
+	}
+	for _, key := range []string{"unr1", "unr2", "unr4"} {
+		if cycles[key] >= cycles["block"] {
+			t.Errorf("unrolled (%s) does not beat block: %d >= %d cycles", key, cycles[key], cycles["block"])
+		}
+		if flash[key] <= flash["block"] {
+			t.Errorf("unrolled (%s) should cost flash over block: %d <= %d bytes", key, flash[key], flash["block"])
+		}
+	}
+	for _, key := range []string{"block", "unr1", "unr2", "unr4"} {
+		if cycles["auto"] > cycles[key] {
+			t.Errorf("auto picked a dominated point: %d cycles vs %s at %d", cycles["auto"], key, cycles[key])
+		}
+	}
+	// Determinism across runner instances, like the other micro sweeps.
+	if tb.String() != New(Config{Quick: true, Seed: 1}).Pareto().String() {
+		t.Error("pareto experiment not deterministic")
+	}
+}
+
 func TestFig1Quick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training experiment")

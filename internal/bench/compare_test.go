@@ -17,8 +17,8 @@ func metricsDoc(t *testing.T, mutate func(*MetricsFile)) []byte {
 				Accuracy: 0.91, AccuracyFloat: 0.93, FlashBytes: 1940, RAMBytes: 1200,
 				Params: 800, Deployable: true,
 				Layers: []LayerMetric{
-					{Index: 0, Kernel: "k_block_c1", Cycles: 11911, LatencyMS: 1.489, Share: 0.83},
-					{Index: 1, Kernel: "k_block_c1", Cycles: 2393, LatencyMS: 0.299, Share: 0.17},
+					{Index: 0, Kernel: "k_block_c1", Encoding: "block", Cycles: 11911, LatencyMS: 1.489, Share: 0.83, FlashBytes: 1400},
+					{Index: 1, Kernel: "l1_unr4", Encoding: "unrolled/4", Cycles: 2393, LatencyMS: 0.299, Share: 0.17, FlashBytes: 380},
 				},
 			},
 			{
@@ -147,5 +147,13 @@ func TestValidateLayersKey(t *testing.T) {
 	empty := metricsDoc(t, func(f *MetricsFile) { f.Experiments[0].Layers[0].Kernel = "" })
 	if err := ValidateMetricsJSON(empty); err == nil {
 		t.Error("layer without kernel accepted")
+	}
+	noEnc := metricsDoc(t, func(f *MetricsFile) { f.Experiments[0].Layers[0].Encoding = "" })
+	if err := ValidateMetricsJSON(noEnc); err == nil {
+		t.Error("layer without encoding accepted")
+	}
+	noFlash := metricsDoc(t, func(f *MetricsFile) { f.Experiments[0].Layers[1].FlashBytes = 0 })
+	if err := ValidateMetricsJSON(noFlash); err == nil {
+		t.Error("layer without flash attribution accepted")
 	}
 }

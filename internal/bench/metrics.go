@@ -101,12 +101,14 @@ type EnergyMetric struct {
 // LayerMetric is one layer's row in a model record's per-layer
 // attribution.
 type LayerMetric struct {
-	Index     int     `json:"index"`
-	Kernel    string  `json:"kernel"`
-	Cycles    uint64  `json:"cycles"`
-	LatencyMS float64 `json:"latency_ms"`
-	Share     float64 `json:"share"`        // fraction of the record's total cycles
-	UJ        float64 `json:"uj,omitempty"` // the layer's cycles priced in µJ
+	Index      int     `json:"index"`
+	Kernel     string  `json:"kernel"`
+	Encoding   string  `json:"encoding,omitempty"` // resolved encoding ("block", "unrolled/4", "dense")
+	Cycles     uint64  `json:"cycles"`
+	LatencyMS  float64 `json:"latency_ms"`
+	Share      float64 `json:"share"`                 // fraction of the record's total cycles
+	UJ         float64 `json:"uj,omitempty"`          // the layer's cycles priced in µJ
+	FlashBytes int     `json:"flash_bytes,omitempty"` // layer tables + descriptor + owned kernels
 }
 
 // MetricsFile is the top-level metrics document.
@@ -236,6 +238,12 @@ func ValidateMetricsJSON(data []byte) error {
 				}
 				if l.Kernel == "" || l.Cycles == 0 {
 					return fmt.Errorf("metrics: experiment %d layer %d missing kernel or cycles", i, j)
+				}
+				if l.Encoding == "" {
+					return fmt.Errorf("metrics: experiment %d layer %d missing encoding", i, j)
+				}
+				if l.FlashBytes <= 0 {
+					return fmt.Errorf("metrics: experiment %d layer %d flash_bytes %d not positive", i, j, l.FlashBytes)
 				}
 				if math.IsNaN(l.UJ) || l.UJ < 0 {
 					return fmt.Errorf("metrics: experiment %d layer %d energy %v is NaN or negative", i, j, l.UJ)

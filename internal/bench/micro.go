@@ -177,3 +177,52 @@ func (r *Runner) Fig5() (latency, flash *report.Table) {
 	flash.Note = "paper at N_out=256: block 11.6 KB, csc 20.1 KB"
 	return latency, flash
 }
+
+// Pareto extends the Fig 5 single-layer sweep with the
+// weight-specialized unrolled kernels and the certificate-driven auto
+// search: the same 400-input 10%-density layer, deployed as block (the
+// paper's scheme), unrolled at each factor, and auto. Each row is one
+// point on the latency/flash trade-off frontier; auto must land on the
+// frontier because its cost model is the exact per-layer WCET from the
+// image's own certificate (modelimg.SearchWaitStates).
+func (r *Runner) Pareto() *report.Table {
+	const inDim = 400
+	const density = 0.10
+	outs := []int{32, 64, 128}
+	if r.cfg.Quick {
+		outs = []int{32}
+	}
+	t := report.New("Pareto: latency vs flash, block vs unrolled vs auto search",
+		"N_out", "encoding", "cycles", "latency", "flash")
+	cands := []struct {
+		key  string
+		opts modelimg.BuildOptions
+	}{
+		{"block", modelimg.BuildOptions{Encoding: modelimg.UseBlock}},
+		{"unr1", modelimg.BuildOptions{PerLayer: []modelimg.LayerEncoding{{Choice: modelimg.UseUnrolled, Factor: 1}}}},
+		{"unr2", modelimg.BuildOptions{PerLayer: []modelimg.LayerEncoding{{Choice: modelimg.UseUnrolled, Factor: 2}}}},
+		{"unr4", modelimg.BuildOptions{PerLayer: []modelimg.LayerEncoding{{Choice: modelimg.UseUnrolled, Factor: 4}}}},
+		{"auto", modelimg.BuildOptions{Encoding: modelimg.UseAuto}},
+	}
+	for _, out := range outs {
+		// Same layer seeds as Fig 5, so the block rows cross-check against
+		// the fig5 records exactly.
+		layer := synthTernaryLayer(rng.New(uint64(1000+out)), inDim, out, density, true)
+		m := &quant.Model{Layers: []*quant.Layer{layer}, InputScale: 127}
+		for _, c := range cands {
+			name := fmt.Sprintf("pareto-%s-out%d", c.key, out)
+			meas, _, err := r.measureMicroOpts(name, m, c.opts, 3)
+			if err != nil {
+				// Not deployable (e.g. unrolled over flash): recorded as such,
+				// the table shows the hole in the frontier.
+				t.Add(out, c.key, "-", "-", "-")
+				r.logf("pareto out=%d enc=%s: not deployable: %v", out, c.key, err)
+				continue
+			}
+			t.Add(out, c.key, meas.cycles, report.MS(meas.ms), report.KB(meas.flashBytes))
+			r.logf("pareto out=%d enc=%s: %d cycles %s", out, c.key, meas.cycles, report.KB(meas.flashBytes))
+		}
+	}
+	t.Note = "unrolled trades flash for cycles; auto picks per-layer via exact cert WCET and never lands off the frontier"
+	return t
+}

@@ -60,7 +60,7 @@ func (r *Runner) runCandidate(ds *dataset.Dataset, c candidate) *outcome {
 	rep := m.Train(ds, neuroc.TrainOptions{Epochs: r.epochs(c.epochs)})
 	o := &outcome{candidate: c, model: m, floatAcc: rep.TestAccuracy, params: m.EffectiveParams()}
 	r.outcomes[c.name] = o
-	dep, err := m.Deploy(ds, neuroc.EncodingBlock)
+	dep, err := m.Deploy(ds, r.cfg.Encoding)
 	if err != nil {
 		o.deployErr = err
 		r.logf("%s: acc %.4f params %d (not deployable: %v)", c.name, o.floatAcc, o.params, err)
@@ -104,9 +104,15 @@ func (r *Runner) runCandidate(ds *dataset.Dataset, c candidate) *outcome {
 		if cycles > 0 {
 			layers[i].Share = float64(mean) / float64(cycles)
 		}
+		// Per-layer encoding and flash attribution from the image the
+		// telemetry twin was derived from.
+		if s.Index < len(dep.Img.Layers) {
+			layers[i].Encoding = dep.Img.Layers[s.Index].Encoding
+			layers[i].FlashBytes = dep.Img.Layers[s.Index].FlashBytes
+		}
 	}
 	r.record(Metric{
-		Name: c.name, Kind: "model", Encoding: neuroc.EncodingBlock.String(),
+		Name: c.name, Kind: "model", Encoding: r.cfg.Encoding.String(),
 		Cycles: cycles, Instructions: instrs, LatencyMS: ms,
 		Accuracy: o.quantAcc, AccuracyFloat: o.floatAcc,
 		AccuracyDevice: o.deviceAcc, DeviceAccuracyN: o.deviceN,

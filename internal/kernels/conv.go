@@ -9,10 +9,15 @@ package kernels
 // stride/padding arithmetic when the core has no SIMD or addressing
 // support for it.
 
-// Im2Col returns the gather kernel. Descriptor: in = source image,
-// k0 = offset table (uint16 per element), k1 = destination matrix,
-// k2 = total element count (S²·M²).
-func Im2Col() (name, src string) {
+// Im2Col returns the gather kernel with the device-capacity loop bound
+// (see Im2ColB).
+func Im2Col() (name, src string) { return Im2ColB(MaxLoopBound) }
+
+// Im2ColB returns the gather kernel with its element loop bounded by
+// countB (= S²·M², the exact element count). Descriptor: in = source
+// image, k0 = offset table (uint16 per element), k1 = destination
+// matrix, k2 = total element count (S²·M²).
+func Im2ColB(countB int) (name, src string) {
 	name = "k_im2col"
 	src = expand(`{N}:
 	push {r4-r7, lr}
@@ -27,17 +32,28 @@ func Im2Col() (name, src string) {
 	strb r6, [r3]
 	adds r3, #1
 	subs r4, #1
-	bne {N}_loop           @ asmcheck: loop {LOOP}
+	bne {N}_loop           @ asmcheck: loop {LOOPB}
 	pop {r4-r7, pc}
-`, map[string]int{"IN": DescIn, "K0": DescK0, "K1": DescK1, "K2": DescK2}, name)
-	return name, withLoopBounds(src)
+`, map[string]int{
+		"IN": DescIn, "K0": DescK0, "K1": DescK1, "K2": DescK2,
+		"LOOPB": clampBound(countB),
+	}, name)
+	return name, src
 }
 
-// ConvGEMM returns the K×(S²)×(M²) multiply kernel over the
-// materialized im2col matrix. Descriptor: k0 = filter weights (int8,
-// K rows of S²), k1 = im2col matrix (M² rows of S²), k2 = M²,
-// in_dim = S², out_dim = K, acc = K·M² int32 results laid out m-major.
+// ConvGEMM returns the GEMM kernel with device-capacity loop bounds
+// (see ConvGEMMB).
 func ConvGEMM() (name, src string) {
+	return ConvGEMMB(MaxLoopBound, MaxLoopBound, MaxLoopBound)
+}
+
+// ConvGEMMB returns the K×(S²)×(M²) multiply kernel over the
+// materialized im2col matrix, with the tap loop bounded by sB (= S²),
+// the filter loop by kB (= K), and the position loop by mB (= M²).
+// Descriptor: k0 = filter weights (int8, K rows of S²), k1 = im2col
+// matrix (M² rows of S²), k2 = M², in_dim = S², out_dim = K,
+// acc = K·M² int32 results laid out m-major.
+func ConvGEMMB(sB, kB, mB int) (name, src string) {
 	name = "k_convgemm"
 	src = expand(`{N}:
 	push {r4-r7, lr}
@@ -65,7 +81,7 @@ func ConvGEMM() (name, src string) {
 	adds r1, r1, r6
 	adds r2, #1
 	cmp r2, r5
-	blo {N}_s              @ asmcheck: loop {LOOP}
+	blo {N}_s              @ asmcheck: loop {SB}
 	mov r6, r8
 	str r1, [r6]
 	adds r6, #4
@@ -74,18 +90,19 @@ func ConvGEMM() (name, src string) {
 	mov r6, r11
 	subs r6, #1
 	mov r11, r6
-	bne {N}_k              @ asmcheck: loop {LOOP}
+	bne {N}_k              @ asmcheck: loop {KB}
 	mov r6, r10
 	adds r6, r6, r5        @ next im2col row
 	mov r10, r6
 	mov r6, r12
 	subs r6, #1
 	mov r12, r6
-	bne {N}_m              @ asmcheck: loop {LOOP}
+	bne {N}_m              @ asmcheck: loop {MB}
 	pop {r4-r7, pc}
 `, map[string]int{
 		"ACC": DescAcc, "IDIM": DescInDim, "ODIM": DescOutDim,
 		"K0": DescK0, "K1": DescK1, "K2": DescK2,
+		"SB": clampBound(sB), "KB": clampBound(kB), "MB": clampBound(mB),
 	}, name)
-	return name, withLoopBounds(src)
+	return name, src
 }

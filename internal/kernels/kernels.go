@@ -64,21 +64,28 @@ const (
 	FlagPerNeuron = 1 << 1
 )
 
-// MaxLoopBound is the conservative iteration bound annotated on every
-// generated loop back edge ("@ asmcheck: loop N", consumed by
-// internal/asmcheck's worst-case cycle analysis). Kernels are shared
-// across layers of one image, so the annotation cannot depend on a
-// single layer's dimensions; instead it is a device-capacity bound:
-// every per-loop trip count (output neurons, connections per column,
-// gathered elements) is limited by what fits in the 16 KB SRAM, so
-// 32768 dominates any deployable configuration while keeping nested
-// worst-case products comfortably inside uint64.
+// MaxLoopBound is the conservative device-capacity iteration bound: every
+// per-loop trip count (output neurons, connections per column, gathered
+// elements) is limited by what fits in the 16 KB SRAM, so 32768 dominates
+// any deployable configuration while keeping nested worst-case products
+// comfortably inside uint64. The legacy generator entry points
+// (Requant, Dense, Mixed, CSC, Delta, Block, Im2Col, ConvGEMM) annotate
+// every loop with it; the *B forms take the actual layer dimensions so
+// asmcheck WCET — the encoding search's cost model — is tight.
 const MaxLoopBound = 32768
 
-// withLoopBounds substitutes the {LOOP} annotation placeholder in a
-// generated kernel with MaxLoopBound.
-func withLoopBounds(src string) string {
-	return strings.ReplaceAll(src, "{LOOP}", fmt.Sprintf("%d", MaxLoopBound))
+// clampBound keeps a loop-bound annotation in [1, MaxLoopBound]: bounds
+// derived from dimension arithmetic (maxCol-1 for the delta inner loop)
+// can reach 0 for degenerate layers, and an annotation above the device
+// capacity adds nothing.
+func clampBound(n int) int {
+	if n < 1 {
+		return 1
+	}
+	if n > MaxLoopBound {
+		return MaxLoopBound
+	}
+	return n
 }
 
 // load emits "load element into reg from [cursor], advance cursor" for
@@ -96,28 +103,36 @@ func load(reg, cursor string, width int) string {
 }
 
 // zeroAcc emits the accumulator-clearing prologue (desc in r0,
-// clobbers r1-r3). out_dim >= 1 is a builder invariant.
-func zeroAcc(name string) string {
+// clobbers r1-r3). out_dim >= 1 is a builder invariant; outB bounds the
+// store loop (= the widest out_dim the kernel is called with).
+func zeroAcc(name string, outB int) string {
 	return fmt.Sprintf(`	ldr r1, [r0, #%d]
 	ldr r2, [r0, #%d]
 	movs r3, #0
 %s_zero:
 	stmia r1!, {r3}
 	subs r2, #1
-	bne %s_zero            @ asmcheck: loop {LOOP}
-`, DescAcc, DescOutDim, name, name)
+	bne %s_zero            @ asmcheck: loop %d
+`, DescAcc, DescOutDim, name, name, clampBound(outB))
 }
 
-// Requant returns the shared requantization kernel. For every output
-// neuron it computes
+// Requant returns the shared requantization kernel with the
+// device-capacity loop bound (see RequantB).
+func Requant() (name, src string) { return RequantB(MaxLoopBound) }
+
+// RequantB returns the shared requantization kernel with its neuron
+// loops bounded by outB, the widest out_dim of any layer in the image.
+// For every output neuron it computes
 //
 //	out = sat8( relu?( ((acc >> pre) * M) >> post + bias ) )
 //
 // with M from the per-neuron table (flags bit1) or a single per-layer
-// multiplier held in a register. ReLU is branchless (sign-mask AND
-// select-mask), so the only data-dependent branches are the two rarely
-// taken saturation skips.
-func Requant() (name, src string) {
+// multiplier held in a register. ReLU and both saturation clamps are
+// branchless (sign-mask arithmetic), so the loop body has no
+// data-dependent branches at all and the kernel's cycle count is a pure
+// function of out_dim — the property that lets the cert-derived WCET
+// equal measured cycles exactly (see internal/cert).
+func RequantB(outB int) (name, src string) {
 	name = "k_requant"
 	tmpl := `{N}:
 	push {r4-r7, lr}
@@ -158,19 +173,20 @@ func Requant() (name, src string) {
 	ands r7, r0
 	bics r6, r7            @ branchless gated ReLU
 	movs r7, #127
-	cmp r6, r7
-	ble {N}_tc1
-	mov r6, r7
-{N}_tc1:
+	subs r7, r7, r6        @ 127 - v
+	asrs r0, r7, #31       @ negative iff v > 127
+	ands r7, r0
+	adds r6, r6, r7        @ v = min(v, 127)
+	movs r7, #127
 	mvns r7, r7            @ -128
-	cmp r6, r7
-	bge {N}_tc2
-	mov r6, r7
-{N}_tc2:
+	subs r7, r7, r6        @ -128 - v
+	asrs r0, r7, #31       @ negative iff v > -128
+	bics r7, r0
+	adds r6, r6, r7        @ v = max(v, -128)
 	strb r6, [r2]
 	adds r2, #1
 	subs r5, #1
-	bne {N}_tbl            @ asmcheck: loop {LOOP}
+	bne {N}_tbl            @ asmcheck: loop {LOOPB}
 	pop {r4-r7, pc}
 {N}_single:
 	ldrh r7, [r3]
@@ -194,26 +210,28 @@ func Requant() (name, src string) {
 	ands r7, r0
 	bics r6, r7
 	movs r7, #127
-	cmp r6, r7
-	ble {N}_sc1
-	mov r6, r7
-{N}_sc1:
+	subs r7, r7, r6
+	asrs r0, r7, #31
+	ands r7, r0
+	adds r6, r6, r7
+	movs r7, #127
 	mvns r7, r7
-	cmp r6, r7
-	bge {N}_sc2
-	mov r6, r7
-{N}_sc2:
+	subs r7, r7, r6
+	asrs r0, r7, #31
+	bics r7, r0
+	adds r6, r6, r7
 	strb r6, [r2]
 	adds r2, #1
 	subs r5, #1
-	bne {N}_sgl            @ asmcheck: loop {LOOP}
+	bne {N}_sgl            @ asmcheck: loop {LOOPB}
 	pop {r4-r7, pc}
 `
-	src = withLoopBounds(expand(tmpl, map[string]int{
+	src = expand(tmpl, map[string]int{
 		"ACC": DescAcc, "OUT": DescOut, "MULT": DescMult, "BIAS": DescBias,
 		"ODIM": DescOutDim, "PRE": DescPre, "POST": DescPost, "FLAGS": DescFlags,
 		"FRELU": FlagReLU, "FPN": FlagPerNeuron,
-	}, name))
+		"LOOPB": clampBound(outB),
+	}, name)
 	return name, src
 }
 
@@ -227,10 +245,15 @@ func expand(tmpl string, vals map[string]int, name string) string {
 	return out
 }
 
-// Dense returns the int8 dense-layer accumulate kernel (the MLP
-// baseline, and the GEMM stage of the conv path). k0 = weight matrix
+// Dense returns the dense kernel with device-capacity loop bounds (see
+// DenseB).
+func Dense() (name, src string) { return DenseB(MaxLoopBound, MaxLoopBound) }
+
+// DenseB returns the int8 dense-layer accumulate kernel (the MLP
+// baseline, and the GEMM stage of the conv path) with the inner loop
+// bounded by inB and the neuron loop by outB. k0 = weight matrix
 // pointer (int8, row-major out×in). 11 cycles per MACC on the M0.
-func Dense() (name, src string) {
+func DenseB(inB, outB int) (name, src string) {
 	name = "k_dense"
 	src = fmt.Sprintf(`%s:
 	push {r4-r7, lr}
@@ -251,7 +274,7 @@ func Dense() (name, src string) {
 	adds r1, r1, r6
 	adds r2, #1
 	cmp r2, r5
-	blo %s_i               @ asmcheck: loop {LOOP}
+	blo %s_i               @ asmcheck: loop %d
 	mov r6, r8
 	str r1, [r6]
 	adds r6, #4
@@ -260,16 +283,18 @@ func Dense() (name, src string) {
 	mov r6, r9
 	subs r6, #1
 	mov r9, r6
-	bne %s_o               @ asmcheck: loop {LOOP}
+	bne %s_o               @ asmcheck: loop %d
 	pop {r4-r7, pc}
-`, name, DescIn, DescK0, DescInDim, DescAcc, DescOutDim, name, name, name, name)
-	return name, withLoopBounds(src)
+`, name, DescIn, DescK0, DescInDim, DescAcc, DescOutDim,
+		name, name, name, clampBound(inB), name, clampBound(outB))
+	return name, src
 }
 
 // passMixed emits one polarity pass of the mixed/count+absolute-index
 // traversal. op is "adds" or "subs"; cntOff/idxOff are the descriptor
-// fields holding the count and index array pointers.
-func passMixed(name, tag, op string, cntOff, idxOff, countW, idxW int) string {
+// fields holding the count and index array pointers; connB bounds the
+// per-column connection loop and outB the column loop.
+func passMixed(name, tag, op string, cntOff, idxOff, countW, idxW, connB, outB int) string {
 	return fmt.Sprintf(`	ldr r2, [r0, #%d]      @ acc cursor
 	ldr r3, [r0, #%d]      @ counts
 	ldr r4, [r0, #%d]      @ indices
@@ -283,14 +308,14 @@ func passMixed(name, tag, op string, cntOff, idxOff, countW, idxW int) string {
 %s	ldrsb r5, [r1, r5]
 	%s r7, r7, r5
 	subs r6, #1
-	bne %s_%sk             @ asmcheck: loop {LOOP}
+	bne %s_%sk             @ asmcheck: loop %d
 %s_%ss:
 	str r7, [r2]
 	adds r2, #4
 	mov r5, r11
 	subs r5, #1
 	mov r11, r5
-	bne %s_%sc             @ asmcheck: loop {LOOP}
+	bne %s_%sc             @ asmcheck: loop %d
 `, DescAcc, cntOff, idxOff, DescOutDim,
 		name, tag,
 		load("r6", "r3", countW),
@@ -298,22 +323,30 @@ func passMixed(name, tag, op string, cntOff, idxOff, countW, idxW int) string {
 		name, tag,
 		load("r5", "r4", idxW),
 		op,
+		name, tag, clampBound(connB),
 		name, tag,
-		name, tag,
-		name, tag)
+		name, tag, clampBound(outB))
 }
 
-// Mixed returns the mixed-encoding accumulate kernel: per-output counts
+// Mixed returns the mixed-encoding kernel with device-capacity loop
+// bounds (see MixedB).
+func Mixed(countW, idxW int) (name, src string) {
+	return MixedB(countW, idxW, MaxLoopBound, MaxLoopBound)
+}
+
+// MixedB returns the mixed-encoding accumulate kernel: per-output counts
 // plus absolute indices, traversed with register-offset loads (10
 // cycles per connection). Descriptor: k0 = pos counts, k1 = pos
-// indices, k2 = neg counts, k3 = neg indices.
-func Mixed(countW, idxW int) (name, src string) {
+// indices, k2 = neg counts, k3 = neg indices. outB bounds the column
+// loops (= widest out_dim using this kernel) and connB the inner
+// connection loop (= largest per-column count of either polarity).
+func MixedB(countW, idxW, outB, connB int) (name, src string) {
 	name = fmt.Sprintf("k_mixed_c%d_i%d", countW, idxW)
 	src = name + ":\n\tpush {r4-r7, lr}\n" +
-		zeroAcc(name) +
+		zeroAcc(name, outB) +
 		fmt.Sprintf("\tldr r1, [r0, #%d]      @ in ptr\n", DescIn) +
-		passMixed(name, "p", "adds", DescK0, DescK1, countW, idxW) +
-		passMixed(name, "n", "subs", DescK2, DescK3, countW, idxW) +
+		passMixed(name, "p", "adds", DescK0, DescK1, countW, idxW, connB, outB) +
+		passMixed(name, "n", "subs", DescK2, DescK3, countW, idxW, connB, outB) +
 		"\tpop {r4-r7, pc}\n"
-	return name, withLoopBounds(src)
+	return name, src
 }

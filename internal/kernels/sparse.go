@@ -5,8 +5,9 @@ import "fmt"
 // passCSC emits one polarity pass of the CSC traversal. The pointer
 // array holds cumulative nonzero counts (p[0] = 0 implicit: the cursor
 // starts at p[1]); each column's end address is idx_base + p[o+1]·width,
-// and the inner loop is the natural bounds-checked while-form.
-func passCSC(name, tag, op string, ptrOff, idxOff, ptrW, idxW int) string {
+// and the inner loop is the natural bounds-checked while-form — its
+// header executes count+1 times per column, which is what colB bounds.
+func passCSC(name, tag, op string, ptrOff, idxOff, ptrW, idxW, colB, outB int) string {
 	scale := ""
 	if idxW == 2 {
 		scale = "\tlsls r6, r6, #1\n"
@@ -27,14 +28,14 @@ func passCSC(name, tag, op string, ptrOff, idxOff, ptrW, idxW int) string {
 	bhs %s_%ss
 %s	ldrsb r5, [r1, r5]
 	%s r7, r7, r5
-	b %s_%sk               @ asmcheck: loop {LOOP}
+	b %s_%sk               @ asmcheck: loop %d
 %s_%ss:
 	str r7, [r2]
 	adds r2, #4
 	mov r5, r11
 	subs r5, #1
 	mov r11, r5
-	bne %s_%sc             @ asmcheck: loop {LOOP}
+	bne %s_%sc             @ asmcheck: loop %d
 `, DescAcc, ptrOff, ptrW, idxOff, DescOutDim,
 		name, tag,
 		load("r6", "r3", ptrW), scale,
@@ -42,31 +43,41 @@ func passCSC(name, tag, op string, ptrOff, idxOff, ptrW, idxW int) string {
 		name, tag,
 		load("r5", "r4", idxW),
 		op,
+		name, tag, clampBound(colB),
 		name, tag,
-		name, tag,
-		name, tag)
+		name, tag, clampBound(outB))
 }
 
-// CSC returns the baseline CSC accumulate kernel. Descriptor: k0 = pos
+// CSC returns the CSC kernel with device-capacity loop bounds (see
+// CSCB).
+func CSC(ptrW, idxW int) (name, src string) {
+	return CSCB(ptrW, idxW, MaxLoopBound, MaxLoopBound)
+}
+
+// CSCB returns the baseline CSC accumulate kernel. Descriptor: k0 = pos
 // pointer array (out+1 entries of cumulative counts, starting with 0;
 // the kernel skips the leading zero), k1 = pos indices, k2 = neg
-// pointers, k3 = neg indices.
-func CSC(ptrW, idxW int) (name, src string) {
+// pointers, k3 = neg indices. outB bounds the column loops; colB bounds
+// the inner while-form loop HEADER, so callers pass maxColumnCount+1
+// (the bounds check runs once more than the body).
+func CSCB(ptrW, idxW, outB, colB int) (name, src string) {
 	name = fmt.Sprintf("k_csc_p%d_i%d", ptrW, idxW)
 	src = name + ":\n\tpush {r4-r7, lr}\n" +
-		zeroAcc(name) +
+		zeroAcc(name, outB) +
 		fmt.Sprintf("\tldr r1, [r0, #%d]      @ in ptr\n", DescIn) +
-		passCSC(name, "p", "adds", DescK0, DescK1, ptrW, idxW) +
-		passCSC(name, "n", "subs", DescK2, DescK3, ptrW, idxW) +
+		passCSC(name, "p", "adds", DescK0, DescK1, ptrW, idxW, colB, outB) +
+		passCSC(name, "n", "subs", DescK2, DescK3, ptrW, idxW, colB, outB) +
 		"\tpop {r4-r7, pc}\n"
-	return name, withLoopBounds(src)
+	return name, src
 }
 
 // passDelta emits one polarity pass of the delta traversal (paper
 // Fig. 4): the first index of each column is absolute, subsequent
 // connections advance a moving input pointer by stored offsets.
 // The descriptor pointer lives in r9 for the duration of the kernel.
-func passDelta(name, tag, op string, cntOff, firstOff, deltaOff, cw, fw, dw int) string {
+// The first connection is handled before the loop, so the back-edge
+// bound is colB = maxColumnCount-1 (clamped to 1).
+func passDelta(name, tag, op string, cntOff, firstOff, deltaOff, cw, fw, dw, colB, outB int) string {
 	return fmt.Sprintf(`	mov r0, r9
 	ldr r6, [r0, #%d]      @ counts cursor
 	ldr r5, [r0, #%d]      @ firsts cursor
@@ -94,14 +105,14 @@ func passDelta(name, tag, op string, cntOff, firstOff, deltaOff, cw, fw, dw int)
 	adds r1, r1, r5        @ advance the moving pointer
 	%s r4, r4, r0
 	subs r3, #1
-	bne %s_%sk             @ asmcheck: loop {LOOP}
+	bne %s_%sk             @ asmcheck: loop %d
 %s_%ss:
 	str r4, [r7]
 	adds r7, #4
 	mov r5, r11
 	subs r5, #1
 	mov r11, r5
-	bne %s_%sc             @ asmcheck: loop {LOOP}
+	bne %s_%sc             @ asmcheck: loop %d
 `, cntOff, firstOff, deltaOff, DescAcc, DescIn, DescOutDim,
 		name, tag,
 		load("r3", "r6", cw),
@@ -112,28 +123,36 @@ func passDelta(name, tag, op string, cntOff, firstOff, deltaOff, cw, fw, dw int)
 		name, tag,
 		load("r5", "r2", dw),
 		op,
+		name, tag, clampBound(colB),
 		name, tag,
-		name, tag,
-		name, tag)
+		name, tag, clampBound(outB))
 }
 
-// Delta returns the delta-offset accumulate kernel. Descriptor: k0 =
-// pos counts, k1 = pos firsts, k2 = pos deltas, k3 = neg counts, k4 =
-// neg firsts, k5 = neg deltas.
+// Delta returns the delta kernel with device-capacity loop bounds (see
+// DeltaB).
 func Delta(countW, firstW, deltaW int) (name, src string) {
+	return DeltaB(countW, firstW, deltaW, MaxLoopBound, MaxLoopBound)
+}
+
+// DeltaB returns the delta-offset accumulate kernel. Descriptor: k0 =
+// pos counts, k1 = pos firsts, k2 = pos deltas, k3 = neg counts, k4 =
+// neg firsts, k5 = neg deltas. outB bounds the column loops; colB
+// bounds the inner delta loop, whose body runs count-1 times (the first
+// connection is peeled), so callers pass max(maxColumnCount-1, 1).
+func DeltaB(countW, firstW, deltaW, outB, colB int) (name, src string) {
 	name = fmt.Sprintf("k_delta_c%d_f%d_d%d", countW, firstW, deltaW)
 	src = name + ":\n\tpush {r4-r7, lr}\n\tmov r9, r0\n" +
-		zeroAcc(name) +
-		passDelta(name, "p", "adds", DescK0, DescK1, DescK2, countW, firstW, deltaW) +
-		passDelta(name, "n", "subs", DescK3, DescK4, DescK5, countW, firstW, deltaW) +
+		zeroAcc(name, outB) +
+		passDelta(name, "p", "adds", DescK0, DescK1, DescK2, countW, firstW, deltaW, colB, outB) +
+		passDelta(name, "n", "subs", DescK3, DescK4, DescK5, countW, firstW, deltaW, colB, outB) +
 		"\tpop {r4-r7, pc}\n"
-	return name, withLoopBounds(src)
+	return name, src
 }
 
 // passBlockColumns emits the per-column loop of one polarity inside one
 // block: r1 = block input base, r2 = acc cursor, r3 = counts cursor,
 // r4 = index cursor (8-bit block-local), r11 = out counter.
-func passBlockColumns(name, tag, op string, cw int) string {
+func passBlockColumns(name, tag, op string, cw, colB, outB int) string {
 	return fmt.Sprintf(`%s_%sc:
 	@ asmcheck: load flash (count table walked by a record cursor)
 %s	ldr r7, [r2]
@@ -145,32 +164,40 @@ func passBlockColumns(name, tag, op string, cw int) string {
 	ldrsb r5, [r1, r5]     @ asmcheck: load sram
 	%s r7, r7, r5
 	subs r6, #1
-	bne %s_%sk             @ asmcheck: loop {LOOP}
+	bne %s_%sk             @ asmcheck: loop %d
 %s_%ss:
 	str r7, [r2]
 	adds r2, #4
 	mov r5, r11
 	subs r5, #1
 	mov r11, r5
-	bne %s_%sc             @ asmcheck: loop {LOOP}
+	bne %s_%sc             @ asmcheck: loop %d
 `, name, tag,
 		load("r6", "r3", cw),
 		name, tag,
 		name, tag,
 		op,
+		name, tag, clampBound(colB),
 		name, tag,
-		name, tag,
-		name, tag)
+		name, tag, clampBound(outB))
 }
 
-// Block returns the block-partitioned accumulate kernel (the deployed
+// Block returns the block kernel with device-capacity loop bounds (see
+// BlockB).
+func Block(countW int) (name, src string) {
+	return BlockB(countW, MaxLoopBound, MaxLoopBound, MaxLoopBound)
+}
+
+// BlockB returns the block-partitioned accumulate kernel (the deployed
 // Neuro-C default). Descriptor: k0 = number of blocks, k1 = pointer to
 // the block record table; each record is five words:
 //
 //	{ input_base_offset, pos_counts, pos_indices, neg_counts, neg_indices }
 //
-// Indices are block-local and always 8-bit by construction.
-func Block(countW int) (name, src string) {
+// Indices are block-local and always 8-bit by construction. outB bounds
+// the per-block column loops, colB the per-column connection loop, and
+// blkB the block loop.
+func BlockB(countW, outB, colB, blkB int) (name, src string) {
 	name = fmt.Sprintf("k_block_c%d", countW)
 	src = fmt.Sprintf(`%s:
 	push {r4-r7, lr}
@@ -201,16 +228,16 @@ func Block(countW int) (name, src string) {
 %s	mov r5, r12
 	subs r5, #1
 	mov r12, r5
-	bne %s_blk             @ asmcheck: loop {LOOP}
+	bne %s_blk             @ asmcheck: loop %d
 	pop {r4-r7, pc}
 `, name,
-		zeroAcc(name),
+		zeroAcc(name, outB),
 		DescK0, DescK1,
 		name,
 		DescIn, DescAcc, DescOutDim,
-		passBlockColumns(name, "p", "adds", countW),
+		passBlockColumns(name, "p", "adds", countW, colB, outB),
 		DescAcc, DescOutDim,
-		passBlockColumns(name, "n", "subs", countW),
-		name)
-	return name, withLoopBounds(src)
+		passBlockColumns(name, "n", "subs", countW, colB, outB),
+		name, clampBound(blkB))
+	return name, src
 }

@@ -117,11 +117,11 @@ func BuildConv(spec ConvSpec) (*ConvImage, error) {
 	const post, mult = 8, 256
 
 	b := &builder{seen: make(map[string]bool)}
-	i2cName, i2cSrc := kernels.Im2Col()
+	i2cName, i2cSrc := kernels.Im2ColB(nCol)
 	b.kernel(i2cName, i2cSrc)
-	gemmName, gemmSrc := kernels.ConvGEMM()
+	gemmName, gemmSrc := kernels.ConvGEMMB(s2, spec.K, m*m)
 	b.kernel(gemmName, gemmSrc)
-	rqName, rqSrc := kernels.Requant()
+	rqName, rqSrc := kernels.RequantB(nOut)
 	b.kernel(rqName, rqSrc)
 
 	b.emitInt8s("conv_w", weights)

@@ -8,6 +8,15 @@
 // linked sections containing weights and inference code" metric the
 // paper reports.
 //
+// Encodings are chosen PER LAYER: a single uniform choice (the classic
+// Build path), an explicit per-layer mix (BuildOptions.PerLayer), or
+// the certificate-driven search (UseAuto, see search.go) that prices
+// every candidate with the exact cert WCET and picks the fastest
+// deployable mix. Loop-bound annotations are tight — each shared kernel
+// is generated with the maximum dimensions of the layers that call it,
+// not the device-capacity ceiling — so the certificate's bounds make
+// WCET pricing exact.
+//
 // SRAM layout: two ping-pong int8 activation buffers sized to the
 // widest layer, one int32 accumulator buffer sized to the widest output,
 // and the stack at the top of SRAM. The host writes the quantized input
@@ -35,13 +44,18 @@ const StackReserve = 1024
 // EncodingChoice selects the adjacency encoding used for ternary layers.
 type EncodingChoice int
 
-// Encoding choices, matching the paper's four schemes. The paper deploys
-// Block (Sec. 4.3); the others exist for the Fig. 5 comparison.
+// Encoding choices. The first four match the paper's schemes (the paper
+// deploys Block, Sec. 4.3; the others exist for the Fig. 5 comparison).
+// UseUnrolled is the weight-specialized straight-line form (ROADMAP
+// item 2): the matrix is baked into the instruction stream, trading
+// flash for cycles. UseAuto runs the per-layer encoding search.
 const (
 	UseBlock EncodingChoice = iota
 	UseCSC
 	UseDelta
 	UseMixed
+	UseUnrolled
+	UseAuto
 )
 
 // String names the choice.
@@ -55,9 +69,42 @@ func (e EncodingChoice) String() string {
 		return "delta"
 	case UseMixed:
 		return "mixed"
+	case UseUnrolled:
+		return "unrolled"
+	case UseAuto:
+		return "auto"
 	default:
 		return fmt.Sprintf("encoding(%d)", int(e))
 	}
+}
+
+// ParseEncoding maps a CLI name to its choice, rejecting anything else.
+func ParseEncoding(s string) (EncodingChoice, error) {
+	for _, e := range []EncodingChoice{UseBlock, UseCSC, UseDelta, UseMixed, UseUnrolled, UseAuto} {
+		if e.String() == s {
+			return e, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown encoding %q (valid: block, csc, delta, mixed, unrolled, auto)", s)
+}
+
+// DefaultUnrollFactor is the unroll factor used when UseUnrolled is
+// requested without an explicit per-layer factor.
+const DefaultUnrollFactor = 4
+
+// LayerEncoding is one layer's resolved encoding: the choice plus the
+// unroll factor when the choice is UseUnrolled.
+type LayerEncoding struct {
+	Choice EncodingChoice `json:"choice"`
+	Factor int            `json:"factor,omitempty"`
+}
+
+// String renders the resolved form ("block", "unrolled/4").
+func (le LayerEncoding) String() string {
+	if le.Choice == UseUnrolled {
+		return fmt.Sprintf("unrolled/%d", le.Factor)
+	}
+	return le.Choice.String()
 }
 
 // ErrNotDeployable is returned when the image exceeds the device flash
@@ -110,6 +157,13 @@ type Image struct {
 	// with or without on-device markers.
 	Layers []LayerInfo
 
+	// Encodings records the resolved per-layer encoding (meaningful for
+	// ternary layers; dense layers always use the dense kernel). Passing
+	// it back through BuildOptions.PerLayer reproduces this image's
+	// layer mix exactly — how telemetry twin builds stay faithful to
+	// searched images.
+	Encodings []LayerEncoding
+
 	// Telemetry records whether the image carries layer markers (see
 	// BuildOptions.Telemetry); device.New attaches a timer when set.
 	Telemetry bool
@@ -120,14 +174,16 @@ func (img *Image) TotalBytes() int { return len(img.Prog.Code) }
 
 // builder accumulates the assembly program.
 type builder struct {
-	code strings.Builder // entry + kernels
-	data strings.Builder // descriptors + tables
-	seen map[string]bool // emitted kernel names
+	code  strings.Builder // entry + kernels
+	data  strings.Builder // descriptors + tables
+	seen  map[string]bool // emitted kernel names
+	order []string        // kernel emission order, for flash attribution
 }
 
 func (b *builder) kernel(name, src string) string {
 	if !b.seen[name] {
 		b.seen[name] = true
+		b.order = append(b.order, name)
 		b.code.WriteString(src)
 	}
 	return name
@@ -137,6 +193,11 @@ func (b *builder) kernel(name, src string) string {
 // encoding choice.
 type BuildOptions struct {
 	Encoding EncodingChoice
+	// PerLayer fixes the encoding of each layer individually (length
+	// must match the model; entries for dense layers are ignored). When
+	// set it takes precedence over Encoding. UseAuto is not a valid
+	// per-layer entry — the search produces a concrete mix.
+	PerLayer []LayerEncoding
 	// ISRWorkLoops, when positive, installs a SysTick handler that
 	// burns the given number of loop iterations (simulated sensor-ISR
 	// work) before returning — used by the preemption experiments. The
@@ -158,10 +219,19 @@ type BuildOptions struct {
 // LayerInfo describes one emitted layer, in call order — the host-side
 // key for decoding per-layer telemetry back to kernels.
 type LayerInfo struct {
-	Index   int    `json:"index"`
-	Kernel  string `json:"kernel"` // accumulate kernel symbol
-	In      int    `json:"in"`
-	Out     int    `json:"out"`
+	Index  int    `json:"index"`
+	Kernel string `json:"kernel"` // accumulate kernel symbol
+	In     int    `json:"in"`
+	Out    int    `json:"out"`
+
+	// Encoding is the resolved encoding name ("block", "unrolled/4",
+	// "dense" for dense layers).
+	Encoding string `json:"encoding"`
+	// FlashBytes is the layer's program-memory footprint: its parameter
+	// tables and descriptor, plus every kernel first used by this layer
+	// (shared kernels — requant included — are attributed to their first
+	// user).
+	FlashBytes int `json:"flash_bytes"`
 }
 
 // Build generates and assembles the flash image for model using enc for
@@ -172,11 +242,286 @@ func Build(model *quant.Model, enc EncodingChoice) (*Image, error) {
 
 // BuildOpts is Build with full options.
 func BuildOpts(model *quant.Model, opts BuildOptions) (*Image, error) {
-	enc := opts.Encoding
 	if len(model.Layers) == 0 {
 		return nil, fmt.Errorf("modelimg: empty model")
 	}
+	if opts.PerLayer == nil && opts.Encoding == UseAuto {
+		return searchEncodings(model, opts)
+	}
+	encs, err := resolveLayerEncodings(model, opts)
+	if err != nil {
+		return nil, err
+	}
+	return buildResolved(model, opts, encs)
+}
 
+// resolveLayerEncodings expands the options into one concrete
+// LayerEncoding per layer.
+func resolveLayerEncodings(model *quant.Model, opts BuildOptions) ([]LayerEncoding, error) {
+	encs := make([]LayerEncoding, len(model.Layers))
+	if opts.PerLayer != nil {
+		if len(opts.PerLayer) != len(model.Layers) {
+			return nil, fmt.Errorf("modelimg: PerLayer has %d entries for a %d-layer model",
+				len(opts.PerLayer), len(model.Layers))
+		}
+		copy(encs, opts.PerLayer)
+	} else {
+		for i := range encs {
+			encs[i] = LayerEncoding{Choice: opts.Encoding}
+		}
+	}
+	for i := range encs {
+		if model.Layers[i].Kind != quant.Ternary {
+			continue
+		}
+		switch encs[i].Choice {
+		case UseAuto:
+			return nil, fmt.Errorf("modelimg: layer %d: auto is a search directive, not a per-layer encoding", i)
+		case UseUnrolled:
+			if encs[i].Factor == 0 {
+				encs[i].Factor = DefaultUnrollFactor
+			}
+			ok := false
+			for _, f := range kernels.UnrollFactors {
+				if encs[i].Factor == f {
+					ok = true
+				}
+			}
+			if !ok {
+				return nil, fmt.Errorf("modelimg: layer %d: unsupported unroll factor %d (valid: %v)",
+					i, encs[i].Factor, kernels.UnrollFactors)
+			}
+		}
+	}
+	return encs, nil
+}
+
+// kernelBounds are the tight loop-bound parameters a kernel is
+// generated with. Kernels are shared across layers by name, so the
+// bounds of every user are max-merged before generation.
+type kernelBounds struct {
+	out int // output-neuron (column) loops
+	col int // inner per-column loop (semantics vary per kernel)
+	blk int // block loop (block encoding only)
+	in  int // inner element loop (dense only)
+}
+
+func (kb *kernelBounds) merge(o kernelBounds) {
+	if o.out > kb.out {
+		kb.out = o.out
+	}
+	if o.col > kb.col {
+		kb.col = o.col
+	}
+	if o.blk > kb.blk {
+		kb.blk = o.blk
+	}
+	if o.in > kb.in {
+		kb.in = o.in
+	}
+}
+
+// layerPlan is the deferred emission plan for one layer: what kernel it
+// calls (and how to generate it once bounds are merged), and how to
+// emit its parameter tables.
+type layerPlan struct {
+	enc    LayerEncoding
+	encStr string // display/metrics name ("dense" for dense layers)
+	kname  string
+	bounds kernelBounds
+	// gen regenerates the kernel source from the merged bounds of all
+	// its users. nil for layer-specialized kernels (unrolled), whose
+	// fixed source is in src.
+	gen func(kernelBounds) string
+	src string
+	// selfContained marks kernels that embed their buffer addresses and
+	// ignore the descriptor argument; the entry optimizer deletes their
+	// dead descriptor loads.
+	selfContained bool
+	// emit writes the layer's structure tables and returns the
+	// descriptor's k0..k5 expressions.
+	emit func(b *builder, p string) [6]string
+}
+
+// maxColumnCount returns the largest per-output connection count of
+// either polarity — the quantity the per-column inner loops are
+// bounded by.
+func maxColumnCount(a *encoding.Matrix) int {
+	m := 0
+	for o := 0; o < a.Out; o++ {
+		p, n := 0, 0
+		for i := 0; i < a.In; i++ {
+			switch w := a.At(o, i); {
+			case w > 0:
+				p++
+			case w < 0:
+				n++
+			}
+		}
+		if p > m {
+			m = p
+		}
+		if n > m {
+			m = n
+		}
+	}
+	return m
+}
+
+// planLayer computes the emission plan for one layer. in and acc are
+// the layer's SRAM input and accumulator buffer addresses (needed at
+// plan time by the unrolled generator, which bakes them into the code).
+func planLayer(l *quant.Layer, le LayerEncoding, idx int, in, acc uint32) (*layerPlan, error) {
+	switch l.Kind {
+	case quant.DenseK:
+		name, _ := kernels.DenseB(1, 1)
+		return &layerPlan{
+			enc:    le,
+			encStr: "dense",
+			kname:  name,
+			bounds: kernelBounds{in: l.In, out: l.Out},
+			gen: func(kb kernelBounds) string {
+				_, src := kernels.DenseB(kb.in, kb.out)
+				return src
+			},
+			emit: func(b *builder, p string) [6]string {
+				b.emitInt8s(p+"_w", l.W)
+				return [6]string{p + "_w"}
+			},
+		}, nil
+
+	case quant.Ternary:
+		switch le.Choice {
+		case UseBlock:
+			e := encoding.EncodeBlock(l.A, 0)
+			col := 0
+			for bi := range e.Blocks {
+				blk := e.Block(bi)
+				for _, c := range blk.PosCounts {
+					if c > col {
+						col = c
+					}
+				}
+				for _, c := range blk.NegCounts {
+					if c > col {
+						col = c
+					}
+				}
+			}
+			name, _ := kernels.BlockB(e.CountWidth, 1, 1, 1)
+			return &layerPlan{
+				enc: le, encStr: le.String(), kname: name,
+				bounds: kernelBounds{out: l.Out, col: col, blk: len(e.Blocks)},
+				gen: func(kb kernelBounds) string {
+					_, src := kernels.BlockB(e.CountWidth, kb.out, kb.col, kb.blk)
+					return src
+				},
+				emit: func(b *builder, p string) [6]string {
+					var recs strings.Builder
+					for bi := range e.Blocks {
+						blk := e.Block(bi)
+						pc := fmt.Sprintf("%s_b%d_pc", p, bi)
+						pi := fmt.Sprintf("%s_b%d_pi", p, bi)
+						nc := fmt.Sprintf("%s_b%d_nc", p, bi)
+						ni := fmt.Sprintf("%s_b%d_ni", p, bi)
+						b.emitUints(pc, blk.PosCounts, e.CountWidth)
+						b.emitUints(pi, blk.PosIndices, 1)
+						b.emitUints(nc, blk.NegCounts, e.CountWidth)
+						b.emitUints(ni, blk.NegIndices, 1)
+						fmt.Fprintf(&recs, "\t.word %d, %s, %s, %s, %s\n", bi*e.BlockSize, pc, pi, nc, ni)
+					}
+					tbl := p + "_blocks"
+					b.data.WriteString("\t.align 4\n" + tbl + ":\n" + recs.String())
+					return [6]string{fmt.Sprintf("%d", len(e.Blocks)), tbl}
+				},
+			}, nil
+
+		case UseCSC:
+			e := encoding.EncodeCSC(l.A)
+			name, _ := kernels.CSCB(e.PtrWidth, e.IdxWidth, 1, 1)
+			return &layerPlan{
+				enc: le, encStr: le.String(), kname: name,
+				// The CSC inner loop is a while-form; its header runs
+				// count+1 times per column.
+				bounds: kernelBounds{out: l.Out, col: maxColumnCount(l.A) + 1},
+				gen: func(kb kernelBounds) string {
+					_, src := kernels.CSCB(e.PtrWidth, e.IdxWidth, kb.out, kb.col)
+					return src
+				},
+				emit: func(b *builder, p string) [6]string {
+					b.emitUints(p+"_pp", e.Pos.Pointers, e.PtrWidth)
+					b.emitUints(p+"_pi", e.Pos.Indices, e.IdxWidth)
+					b.emitUints(p+"_np", e.Neg.Pointers, e.PtrWidth)
+					b.emitUints(p+"_ni", e.Neg.Indices, e.IdxWidth)
+					return [6]string{p + "_pp", p + "_pi", p + "_np", p + "_ni"}
+				},
+			}, nil
+
+		case UseDelta:
+			e := encoding.EncodeDelta(l.A)
+			name, _ := kernels.DeltaB(e.CountWidth, e.FirstWidth, e.DeltaWidth, 1, 1)
+			col := maxColumnCount(l.A) - 1 // first connection is peeled
+			if col < 1 {
+				col = 1
+			}
+			return &layerPlan{
+				enc: le, encStr: le.String(), kname: name,
+				bounds: kernelBounds{out: l.Out, col: col},
+				gen: func(kb kernelBounds) string {
+					_, src := kernels.DeltaB(e.CountWidth, e.FirstWidth, e.DeltaWidth, kb.out, kb.col)
+					return src
+				},
+				emit: func(b *builder, p string) [6]string {
+					b.emitUints(p+"_pc", e.Pos.Counts, e.CountWidth)
+					b.emitUints(p+"_pf", e.Pos.Firsts, e.FirstWidth)
+					b.emitUints(p+"_pd", e.Pos.Deltas, e.DeltaWidth)
+					b.emitUints(p+"_nc", e.Neg.Counts, e.CountWidth)
+					b.emitUints(p+"_nf", e.Neg.Firsts, e.FirstWidth)
+					b.emitUints(p+"_nd", e.Neg.Deltas, e.DeltaWidth)
+					return [6]string{p + "_pc", p + "_pf", p + "_pd", p + "_nc", p + "_nf", p + "_nd"}
+				},
+			}, nil
+
+		case UseMixed:
+			e := encoding.EncodeMixed(l.A)
+			name, _ := kernels.MixedB(e.CountWidth, e.IdxWidth, 1, 1)
+			return &layerPlan{
+				enc: le, encStr: le.String(), kname: name,
+				bounds: kernelBounds{out: l.Out, col: maxColumnCount(l.A)},
+				gen: func(kb kernelBounds) string {
+					_, src := kernels.MixedB(e.CountWidth, e.IdxWidth, kb.out, kb.col)
+					return src
+				},
+				emit: func(b *builder, p string) [6]string {
+					b.emitUints(p+"_pc", e.Pos.Counts, e.CountWidth)
+					b.emitUints(p+"_pi", e.Pos.Indices, e.IdxWidth)
+					b.emitUints(p+"_nc", e.Neg.Counts, e.CountWidth)
+					b.emitUints(p+"_ni", e.Neg.Indices, e.IdxWidth)
+					return [6]string{p + "_pc", p + "_pi", p + "_nc", p + "_ni"}
+				},
+			}, nil
+
+		case UseUnrolled:
+			name := kernels.UnrolledName(idx, le.Factor)
+			src := kernels.Optimize(kernels.Unrolled(name, l.A, le.Factor, in, acc))
+			return &layerPlan{
+				enc: le, encStr: le.String(), kname: name,
+				src:           src,
+				selfContained: true,
+				emit:          func(b *builder, p string) [6]string { return [6]string{} },
+			}, nil
+
+		default:
+			return nil, fmt.Errorf("modelimg: unknown encoding %v", le.Choice)
+		}
+	default:
+		return nil, fmt.Errorf("modelimg: unknown layer kind %v", l.Kind)
+	}
+}
+
+// buildResolved generates and assembles the image for one concrete
+// per-layer encoding assignment.
+func buildResolved(model *quant.Model, opts BuildOptions, encs []LayerEncoding) (*Image, error) {
 	// SRAM layout.
 	maxDim := 0
 	maxOut := 0
@@ -204,8 +549,37 @@ func BuildOpts(model *quant.Model, opts BuildOptions) (*Image, error) {
 		}
 	}
 
+	// Plan every layer, then max-merge the loop bounds of layers that
+	// share a kernel so each kernel is generated once, tight for all of
+	// its users.
+	plans := make([]*layerPlan, len(model.Layers))
+	inAddrs := make([]int, len(model.Layers))
+	inAddr := bufA
+	for i, l := range model.Layers {
+		outAddr := bufB
+		if inAddr == bufB {
+			outAddr = bufA
+		}
+		p, err := planLayer(l, encs[i], i, uint32(inAddr), uint32(accBuf))
+		if err != nil {
+			return nil, err
+		}
+		plans[i] = p
+		inAddrs[i] = inAddr
+		inAddr = outAddr
+	}
+	merged := make(map[string]kernelBounds)
+	for _, p := range plans {
+		if p.gen == nil {
+			continue
+		}
+		kb := merged[p.kname]
+		kb.merge(p.bounds)
+		merged[p.kname] = kb
+	}
+
 	b := &builder{seen: make(map[string]bool)}
-	requantName, requantSrc := kernels.Requant()
+	requantName, requantSrc := kernels.RequantB(maxOut)
 	b.kernel(requantName, requantSrc)
 
 	// Entry code: one accumulate + requant call per layer, then halt.
@@ -223,31 +597,44 @@ func BuildOpts(model *quant.Model, opts BuildOptions) (*Image, error) {
 		// preserves it (asmcheck proves the AAPCS contract below).
 		entry.WriteString(kernels.MailboxLoad("r4"))
 	}
+	selfContained := make(map[string]bool)
 	var layers []LayerInfo
-	inAddr := bufA
 	for i, l := range model.Layers {
+		p := plans[i]
+		src := p.src
+		if p.gen != nil {
+			src = p.gen(merged[p.kname])
+		}
+		b.kernel(p.kname, src)
+		if p.selfContained {
+			selfContained[p.kname] = true
+		}
+
 		outAddr := bufB
-		if inAddr == bufB {
+		if inAddrs[i] == bufB {
 			outAddr = bufA
 		}
 		descLabel := fmt.Sprintf("desc%d", i)
-		kname, err := b.emitLayer(l, enc, descLabel, uint32(inAddr), uint32(outAddr), uint32(accBuf), i)
-		if err != nil {
-			return nil, err
-		}
+		// The l<i>_data label emits no bytes but delimits the layer's
+		// table span for per-layer flash attribution.
+		fmt.Fprintf(&b.data, "l%d_data:\n", i)
+		k := p.emit(b, fmt.Sprintf("l%d", i))
+		emitDesc(b, descLabel, l, k, uint32(inAddrs[i]), uint32(outAddr), uint32(accBuf), i)
+
 		// The l<i>_call label emits no bytes: uninstrumented images stay
 		// bit-identical while host profiles gain layer boundaries.
 		fmt.Fprintf(&entry, "l%d_call:\n", i)
 		if opts.Telemetry {
 			entry.WriteString(kernels.MarkerStore("r4", kernels.MarkerEnter(i)))
 		}
-		fmt.Fprintf(&entry, "\tldr r0, =%s\n\tbl %s\n", descLabel, kname)
+		fmt.Fprintf(&entry, "\tldr r0, =%s\n\tbl %s\n", descLabel, p.kname)
 		fmt.Fprintf(&entry, "\tldr r0, =%s\n\tbl %s\n", descLabel, requantName)
 		if opts.Telemetry {
 			entry.WriteString(kernels.MarkerStore("r4", kernels.MarkerExit(i)))
 		}
-		layers = append(layers, LayerInfo{Index: i, Kernel: kname, In: l.In, Out: l.Out})
-		inAddr = outAddr
+		layers = append(layers, LayerInfo{
+			Index: i, Kernel: p.kname, In: l.In, Out: l.Out, Encoding: p.encStr,
+		})
 	}
 	entry.WriteString("entry_end:\n")
 	if opts.MaskIRQDuringInference {
@@ -256,6 +643,12 @@ func BuildOpts(model *quant.Model, opts BuildOptions) (*Image, error) {
 		entry.WriteString("\tcpsie i\n\tnop\n\tnop\n")
 	}
 	entry.WriteString("\tbkpt #0\n\t.pool\n")
+	entryStr := entry.String()
+	if len(selfContained) > 0 {
+		// Unrolled kernels ignore their descriptor argument; delete the
+		// dead loads feeding their BLs (2+2ws cycles per layer).
+		entryStr = kernels.OptimizeEntry(entryStr, selfContained)
+	}
 
 	// Vector table: SP, reset, 13 reserved slots, SysTick (slot 15).
 	systickVec := "0"
@@ -288,7 +681,7 @@ func BuildOpts(model *quant.Model, opts BuildOptions) (*Image, error) {
 	.word %s               @ SysTick (slot 15)
 %s%s%s	.align 4
 data_start:
-%s`, armv6m.SRAMBase+armv6m.SRAMSize, systickVec, entry.String(), isr, b.code.String(), b.data.String())
+%s`, armv6m.SRAMBase+armv6m.SRAMSize, systickVec, entryStr, isr, b.code.String(), b.data.String())
 
 	prog, err := thumb.Assemble(asm, armv6m.FlashBase)
 	if err != nil {
@@ -330,6 +723,10 @@ data_start:
 		return nil, fmt.Errorf("modelimg: static check: %w", err)
 	}
 
+	if err := attributeFlash(prog, b.order, layers, plans, dataStart); err != nil {
+		return nil, err
+	}
+
 	img := &Image{
 		Prog:      prog,
 		InAddr:    uint32(bufA),
@@ -343,6 +740,7 @@ data_start:
 		Check:     report,
 		Cert:      crt,
 		Layers:    layers,
+		Encodings: encs,
 		Telemetry: opts.Telemetry,
 	}
 	// Output buffer of the final layer: ping-pong parity.
@@ -354,9 +752,57 @@ data_start:
 	return img, nil
 }
 
-// emitLayer appends the layer's kernel (if new), descriptor, and tables;
-// it returns the accumulate kernel name to call.
-func (b *builder) emitLayer(l *quant.Layer, enc EncodingChoice, descLabel string, in, out, acc uint32, idx int) (string, error) {
+// attributeFlash fills LayerInfo.FlashBytes: each layer owns its table
+// span (l<i>_data to the next layer's) plus every kernel it is the
+// first user of. The requant kernel, shared by all layers, goes to
+// layer 0.
+func attributeFlash(prog *thumb.Program, kernelOrder []string, layers []LayerInfo, plans []*layerPlan, dataStart uint32) error {
+	progEnd := prog.Base + uint32(len(prog.Code))
+	// Table spans: layer data is emitted in layer order, contiguously.
+	for i := range layers {
+		start, err := prog.Symbol(fmt.Sprintf("l%d_data", i))
+		if err != nil {
+			return err
+		}
+		end := progEnd
+		if i+1 < len(layers) {
+			if end, err = prog.Symbol(fmt.Sprintf("l%d_data", i+1)); err != nil {
+				return err
+			}
+		}
+		layers[i].FlashBytes = int(end - start)
+	}
+	// Kernel spans, attributed to the first layer that uses each.
+	owner := make(map[string]int)
+	for i, p := range plans {
+		if _, ok := owner[p.kname]; !ok {
+			owner[p.kname] = i
+		}
+	}
+	for j, name := range kernelOrder {
+		start, err := prog.Symbol(name)
+		if err != nil {
+			return err
+		}
+		end := dataStart
+		if j+1 < len(kernelOrder) {
+			if end, err = prog.Symbol(kernelOrder[j+1]); err != nil {
+				return err
+			}
+		}
+		o, ok := owner[name]
+		if !ok {
+			o = 0 // shared support kernels (requant) go to the first layer
+		}
+		layers[o].FlashBytes += int(end - start)
+	}
+	return nil
+}
+
+// emitDesc writes the layer's multiplier/bias tables and its 16-word
+// descriptor.
+func emitDesc(b *builder, descLabel string, l *quant.Layer, k [6]string, in, out, acc uint32, idx int) {
+	p := fmt.Sprintf("l%d", idx)
 	flags := 0
 	if l.ReLU {
 		flags |= kernels.FlagReLU
@@ -364,88 +810,8 @@ func (b *builder) emitLayer(l *quant.Layer, enc EncodingChoice, descLabel string
 	if l.PerNeuron {
 		flags |= kernels.FlagPerNeuron
 	}
-	p := fmt.Sprintf("l%d", idx)
-
-	var kname string
-	var k [6]string // descriptor k0..k5 expressions
-	switch l.Kind {
-	case quant.DenseK:
-		name, src := kernels.Dense()
-		kname = b.kernel(name, src)
-		wLabel := p + "_w"
-		b.emitInt8s(wLabel, l.W)
-		k[0] = wLabel
-
-	case quant.Ternary:
-		switch enc {
-		case UseBlock:
-			e := encoding.EncodeBlock(l.A, 0)
-			name, src := kernels.Block(e.CountWidth)
-			kname = b.kernel(name, src)
-			// Block record table.
-			var recs strings.Builder
-			for bi := range e.Blocks {
-				blk := e.Block(bi)
-				pc := fmt.Sprintf("%s_b%d_pc", p, bi)
-				pi := fmt.Sprintf("%s_b%d_pi", p, bi)
-				nc := fmt.Sprintf("%s_b%d_nc", p, bi)
-				ni := fmt.Sprintf("%s_b%d_ni", p, bi)
-				b.emitUints(pc, blk.PosCounts, e.CountWidth)
-				b.emitUints(pi, blk.PosIndices, 1)
-				b.emitUints(nc, blk.NegCounts, e.CountWidth)
-				b.emitUints(ni, blk.NegIndices, 1)
-				fmt.Fprintf(&recs, "\t.word %d, %s, %s, %s, %s\n", bi*e.BlockSize, pc, pi, nc, ni)
-			}
-			tbl := p + "_blocks"
-			b.data.WriteString("\t.align 4\n" + tbl + ":\n" + recs.String())
-			k[0] = fmt.Sprintf("%d", len(e.Blocks))
-			k[1] = tbl
-
-		case UseCSC:
-			e := encoding.EncodeCSC(l.A)
-			name, src := kernels.CSC(e.PtrWidth, e.IdxWidth)
-			kname = b.kernel(name, src)
-			b.emitUints(p+"_pp", e.Pos.Pointers, e.PtrWidth)
-			b.emitUints(p+"_pi", e.Pos.Indices, e.IdxWidth)
-			b.emitUints(p+"_np", e.Neg.Pointers, e.PtrWidth)
-			b.emitUints(p+"_ni", e.Neg.Indices, e.IdxWidth)
-			k[0], k[1], k[2], k[3] = p+"_pp", p+"_pi", p+"_np", p+"_ni"
-
-		case UseDelta:
-			e := encoding.EncodeDelta(l.A)
-			name, src := kernels.Delta(e.CountWidth, e.FirstWidth, e.DeltaWidth)
-			kname = b.kernel(name, src)
-			b.emitUints(p+"_pc", e.Pos.Counts, e.CountWidth)
-			b.emitUints(p+"_pf", e.Pos.Firsts, e.FirstWidth)
-			b.emitUints(p+"_pd", e.Pos.Deltas, e.DeltaWidth)
-			b.emitUints(p+"_nc", e.Neg.Counts, e.CountWidth)
-			b.emitUints(p+"_nf", e.Neg.Firsts, e.FirstWidth)
-			b.emitUints(p+"_nd", e.Neg.Deltas, e.DeltaWidth)
-			k[0], k[1], k[2] = p+"_pc", p+"_pf", p+"_pd"
-			k[3], k[4], k[5] = p+"_nc", p+"_nf", p+"_nd"
-
-		case UseMixed:
-			e := encoding.EncodeMixed(l.A)
-			name, src := kernels.Mixed(e.CountWidth, e.IdxWidth)
-			kname = b.kernel(name, src)
-			b.emitUints(p+"_pc", e.Pos.Counts, e.CountWidth)
-			b.emitUints(p+"_pi", e.Pos.Indices, e.IdxWidth)
-			b.emitUints(p+"_nc", e.Neg.Counts, e.CountWidth)
-			b.emitUints(p+"_ni", e.Neg.Indices, e.IdxWidth)
-			k[0], k[1], k[2], k[3] = p+"_pc", p+"_pi", p+"_nc", p+"_ni"
-
-		default:
-			return "", fmt.Errorf("modelimg: unknown encoding %v", enc)
-		}
-	default:
-		return "", fmt.Errorf("modelimg: unknown layer kind %v", l.Kind)
-	}
-
-	// Multiplier and bias tables (int16).
 	b.emitInt16s(p+"_mult", l.Mults)
 	b.emitInt16s(p+"_bias", l.Bias)
-
-	// Descriptor.
 	for i, v := range k {
 		if v == "" {
 			k[i] = "0"
@@ -459,7 +825,6 @@ func (b *builder) emitLayer(l *quant.Layer, enc EncodingChoice, descLabel string
 `, descLabel, in, out, acc, l.In, l.Out,
 		k[0], k[1], k[2], k[3], k[4], k[5],
 		p+"_mult", p+"_bias", l.PreShift, l.PostShift, flags)
-	return kname, nil
 }
 
 // emitInt8s writes a labeled .byte table of signed bytes.

@@ -457,12 +457,15 @@ func TestMaskedInferenceDefersInterrupts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Masked: at most one deferred interrupt runs after cpsie.
-	if masked.CPU.SysTick.Fires > 1 {
+	// Masked: the pend bit holds a single deferred interrupt, which runs
+	// after cpsie; depending on counter phase the timer may roll over
+	// once more while that ISR drains, but never beyond that.
+	if masked.CPU.SysTick.Fires > 2 {
 		t.Errorf("masked run took %d interrupts", masked.CPU.SysTick.Fires)
 	}
-	// And latency stays near the quiet baseline (entry/exit + ISR once).
-	if res.Cycles > quiet.Cycles+600 {
+	// And latency stays near the quiet baseline (entry/exit + the ISR at
+	// most twice).
+	if res.Cycles > quiet.Cycles+1200 {
 		t.Errorf("masked run inflated: %d vs quiet %d", res.Cycles, quiet.Cycles)
 	}
 	for i := range quiet.Output {

@@ -244,10 +244,14 @@ func (m *Model) EffectiveParams() int {
 type Encoding = modelimg.EncodingChoice
 
 // Deployment encodings (paper Sec. 4.2). EncodingBlock is the paper's
-// selected scheme.
+// selected scheme. EncodingUnrolled bakes the weights into straight-line
+// code (fastest, largest); EncodingAuto runs the certificate-priced
+// per-layer search over all of them (modelimg's searchEncodings).
 const (
-	EncodingBlock = modelimg.UseBlock
-	EncodingCSC   = modelimg.UseCSC
-	EncodingDelta = modelimg.UseDelta
-	EncodingMixed = modelimg.UseMixed
+	EncodingBlock    = modelimg.UseBlock
+	EncodingCSC      = modelimg.UseCSC
+	EncodingDelta    = modelimg.UseDelta
+	EncodingMixed    = modelimg.UseMixed
+	EncodingUnrolled = modelimg.UseUnrolled
+	EncodingAuto     = modelimg.UseAuto
 )

@@ -55,6 +55,24 @@ echo "== translation parity (superblock tier bit-identical to both interpreters)
 go test -run 'TestTranslate|TestTier|FuzzTranslateParity' -count=1 \
 	./internal/armv6m/ ./internal/device/ ./internal/farm/
 
+echo "== optimizer parity (unrolled kernels: fuzz seeds + dense pins)"
+# The peephole-optimized unrolled kernels against their unoptimized
+# form: bit-for-bit accumulator equality, optimized <= unoptimized
+# cycles, exact cycle parity across all three execution tiers at ws
+# 0-2, and strict certification of both forms. `-run` replays the
+# checked-in fuzz seed corpus deterministically; `go test -fuzz
+# FuzzOptimizerParity ./internal/kernels/` explores further locally.
+go test -run 'FuzzOptimizerParity|TestOptimizerParityDense' -count=1 ./internal/kernels/
+
+echo "== encoding-search smoke (-encoding auto end to end)"
+# The farm experiment deployed with the per-layer encoding search:
+# exercises the flag through neuroc-bench -> Config -> Deploy(auto) ->
+# the cert-WCET search -> farm, and panics inside the run on any
+# prediction divergence from the host reference. No metrics file: the
+# encoding keys would differ from the block-encoded baseline by
+# construction.
+go run ./cmd/neuroc-bench -exp farm -quick -j 4 -encoding auto > /dev/null
+
 echo "== farm race-stress (shared-flash board farm under the race detector)"
 go test -race -count=1 ./internal/farm/...
 
@@ -75,15 +93,17 @@ echo "== bench-smoke on the translated tier (explicit -tier plumbing end to end)
 go run ./cmd/neuroc-bench -exp farm -quick -j 4 -tier translated > /dev/null
 
 echo "== bench-smoke (quick device-measured experiments + metrics JSON)"
-# table1/fig2/fig3/fig5 are the training-free experiments: they deploy
-# and measure on the emulated M0 in seconds, which is what the smoke
-# gate needs. farm adds the board-farm parallel evaluation: full digits
+# table1/fig2/fig3/fig5/pareto are the training-free experiments: they
+# deploy and measure on the emulated M0 in seconds, which is what the
+# smoke gate needs. pareto covers the unrolled encodings and the auto
+# search (its records gate the unrolled-beats-block property in the
+# baseline). farm adds the board-farm parallel evaluation: full digits
 # test-set accuracy on-emulator, with wall-clock and speedup recorded
 # into the same neuroc-metrics/v1 file (the -j 4 run is bit-identical
 # to -j 1; only wall-clock changes, and only on multi-core hosts).
 # `neuroc-bench -quick -metrics bench_quick.json` (all experiments)
 # produces the same file at CI-training scale.
-go run ./cmd/neuroc-bench -exp table1,fig2,fig3,fig5,farm -quick -j 4 -metrics bench_quick.json > /dev/null
+go run ./cmd/neuroc-bench -exp table1,fig2,fig3,fig5,pareto,farm -quick -j 4 -metrics bench_quick.json > /dev/null
 
 echo "== metricscheck"
 go run ./cmd/metricscheck bench_quick.json
