@@ -56,6 +56,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -68,6 +70,7 @@ import (
 	"github.com/neuro-c/neuroc/internal/device"
 	"github.com/neuro-c/neuroc/internal/farm"
 	"github.com/neuro-c/neuroc/internal/modelimg"
+	"github.com/neuro-c/neuroc/internal/obs"
 	"github.com/neuro-c/neuroc/internal/profile"
 	"github.com/neuro-c/neuroc/internal/quant"
 	"github.com/neuro-c/neuroc/internal/telemetry"
@@ -95,6 +98,8 @@ func main() {
 	tierFlag := flag.String("tier", "auto", "execution tier: auto (fastest available), legacy, predecoded, or translated (requires a certified image)")
 	batch := flag.String("batch", "", "raw file of concatenated input records (model input dim each): run all of them on the board farm (requires -model)")
 	workers := flag.Int("j", 0, "board-farm workers for -batch (0 = all host cores); results are bit-identical for any value")
+	listen := flag.String("listen", "", "serve live batch metrics over HTTP on this address while -batch runs (/metrics Prometheus text, /metrics.json snapshot)")
+	timelineFlag := flag.String("timeline", "", "write the run's neuroc-timeline/v1 trace (Perfetto-loadable JSON) to this file (requires -layers or -energy: layer spans come from the telemetry markers)")
 	cpuprofile := flag.String("cpuprofile", "", "write a host pprof CPU profile of the emulator to this file")
 	memprofile := flag.String("memprofile", "", "write a host pprof heap profile to this file on exit")
 	flag.Parse()
@@ -119,6 +124,12 @@ func main() {
 	}
 	if *checked && *model == "" {
 		fatal(fmt.Errorf("-checked requires -model: the certificate is produced when the image is built"))
+	}
+	if *timelineFlag != "" && !*layers && !*energyRep {
+		fatal(fmt.Errorf("-timeline requires -layers or -energy: layer spans are decoded from the telemetry markers those flags build in"))
+	}
+	if *listen != "" && *batch == "" {
+		fatal(fmt.Errorf("-listen requires -batch: live metrics are published per farm item"))
 	}
 	tier, err := device.ParseTier(*tierFlag)
 	if err != nil {
@@ -182,7 +193,7 @@ func main() {
 		if image == nil {
 			fatal(fmt.Errorf("-batch requires -model (the input record size is the model's input dimension)"))
 		}
-		runBatch(image, *batch, *workers, *maxInstr, *ws, effTier, *checked, *energyRep, *energyJSON)
+		runBatch(image, *batch, *workers, *maxInstr, *ws, effTier, *checked, *energyRep, *energyJSON, *timelineFlag, *listen)
 		return
 	}
 
@@ -342,6 +353,23 @@ func main() {
 				writeTo(*energyJSON, rep.WriteJSON)
 			}
 		}
+		if *timelineFlag != "" {
+			em := device.EnergyModel()
+			tl, err := telemetry.BuildTimeline(image, []farm.Result{{
+				Cycles:           cpu.Cycles,
+				Instructions:     cpu.Instructions,
+				Telemetry:        cpu.Bus.Timer.Events,
+				TelemetryDropped: cpu.Bus.Timer.Dropped,
+			}}, telemetry.TimelineConfig{
+				FlashWaitStates: *ws,
+				Tier:            runTierName(cpu, trace != nil),
+				Energy:          &em,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			writeTo(*timelineFlag, tl.WriteJSON)
+		}
 	}
 
 	if profiling {
@@ -477,7 +505,7 @@ func batchFlagConflicts(prof bool, traceN uint64, folded, profJSON, in, dumpAddr
 // per-input predictions, cycle counts, and aggregate statistics. A
 // budget-exhausted or faulting input exits non-zero after the whole
 // batch is reported (one bad input never hides the others).
-func runBatch(image *modelimg.Image, path string, workers int, maxInstr uint64, ws int, tier device.Tier, checked, energyRep bool, energyJSON string) {
+func runBatch(image *modelimg.Image, path string, workers int, maxInstr uint64, ws int, tier device.Tier, checked, energyRep bool, energyJSON, timelinePath, listen string) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fatal(err)
@@ -495,7 +523,11 @@ func runBatch(image *modelimg.Image, path string, workers int, maxInstr uint64, 
 		}
 		inputs[i] = in
 	}
-	results, stats, batchErr := farm.Map(image, inputs, farm.Options{
+	tierLabel := string(tier)
+	if tier == device.TierAuto {
+		tierLabel = "auto"
+	}
+	opts := farm.Options{
 		Workers: workers,
 		Budget:  maxInstr,
 		Checked: checked,
@@ -503,7 +535,35 @@ func runBatch(image *modelimg.Image, path string, workers int, maxInstr uint64, 
 		Configure: func(d *device.Device) {
 			d.CPU.Bus.FlashWaitStates = ws
 		},
-	})
+	}
+	if listen != "" {
+		reg := obs.NewRegistry()
+		ln, err := net.Listen("tcp", listen)
+		if err != nil {
+			fatal(fmt.Errorf("-listen: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "m0run: live metrics on http://%s/metrics\n", ln.Addr())
+		srv := &http.Server{Handler: obs.Handler(reg)}
+		go srv.Serve(ln)
+		defer srv.Close()
+		col := obs.NewFarmCollector(reg, device.EnergyModel().ActiveUJPerCycle())
+		w := workers
+		if w <= 0 {
+			w = runtime.NumCPU()
+		}
+		col.StartBatch(len(inputs), w, tierLabel)
+		opts.Observe = func(i int, res *farm.Result) {
+			col.Observe(res.Cycles, res.HostDurNS, res.Err != nil, res.TelemetryDropped)
+			if image.Telemetry && res.Err == nil {
+				if spans, err := telemetry.DecodeImage(image, res.Telemetry, ws); err == nil {
+					for _, s := range spans {
+						col.ObserveLayer(s.Layer, s.Kernel, s.Cycles)
+					}
+				}
+			}
+		}
+	}
+	results, stats, batchErr := farm.Map(image, inputs, opts)
 	budgetExhausted := false
 	for i, res := range results {
 		if res.Err != nil {
@@ -531,6 +591,9 @@ func runBatch(image *modelimg.Image, path string, workers int, maxInstr uint64, 
 	if stats.Items > stats.Failed {
 		fmt.Printf("cycles: mean %d, min %d, max %d (mean %.3f ms @ 8 MHz)\n",
 			stats.MeanCycles, stats.MinCycles, stats.MaxCycles, stats.LatencyMS())
+		fmt.Printf("latency: p50 %d, p95 %d, p99 %d, p999 %d cycles (p99 %.3f ms @ 8 MHz)\n",
+			stats.P50Cycles, stats.P95Cycles, stats.P99Cycles, stats.P999Cycles,
+			device.CyclesToMS(stats.P99Cycles))
 	}
 	if image.Telemetry && stats.Items > stats.Failed {
 		layerStats, err := telemetry.Aggregate(image, results, ws)
@@ -553,6 +616,19 @@ func runBatch(image *modelimg.Image, path string, workers int, maxInstr uint64, 
 			if energyJSON != "" {
 				writeTo(energyJSON, agg.WriteJSON)
 			}
+		}
+		if timelinePath != "" {
+			em := device.EnergyModel()
+			tl, err := telemetry.BuildTimeline(image, results, telemetry.TimelineConfig{
+				FlashWaitStates: ws,
+				Tier:            tierLabel,
+				Energy:          &em,
+				IncludeWall:     true,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			writeTo(timelinePath, tl.WriteJSON)
 		}
 	}
 	if batchErr != nil {

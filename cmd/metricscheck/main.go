@@ -20,7 +20,16 @@
 //	metricscheck -compare BENCH_BASELINE.json bench_quick.json
 //	metricscheck -compare -tolerance 0.5 old.json new.json
 //
-// Both are fail-fast CI gates behind the bench-smoke step in
+// Validate a run-timeline document (neuroc-timeline/v1, emitted by
+// `neuroc-bench -timeline` / `m0run -timeline`) — schema, the Chrome
+// trace-event shape Perfetto loads, and the span-tree invariants: one
+// batch span, contiguous inference spans in input order, layer spans
+// nested in their inference, and exact cycle accounting (Σ layer +
+// overhead + other == inference, Σ inference == batch):
+//
+//	metricscheck -timeline timeline_quick.json
+//
+// All are fail-fast CI gates behind the bench-smoke step in
 // scripts/verify.sh.
 package main
 
@@ -30,19 +39,39 @@ import (
 	"os"
 
 	"github.com/neuro-c/neuroc/internal/bench"
+	"github.com/neuro-c/neuroc/internal/obs"
 )
 
 func main() {
 	compare := flag.Bool("compare", false, "compare two metrics files: baseline then candidate")
 	tolerance := flag.Float64("tolerance", 0, "relative band for wall-clock keys under -compare (0.5 = ±50%; 0 ignores them)")
+	timeline := flag.Bool("timeline", false, "validate a neuroc-timeline/v1 trace instead of a metrics file")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: metricscheck metrics.json")
 		fmt.Fprintln(os.Stderr, "       metricscheck -compare [-tolerance F] baseline.json candidate.json")
+		fmt.Fprintln(os.Stderr, "       metricscheck -timeline timeline.json")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	args := flag.Args()
 
+	if *timeline {
+		if len(args) != 1 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		data, err := os.ReadFile(args[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metricscheck:", err)
+			os.Exit(1)
+		}
+		if err := obs.ValidateTimelineJSON(data); err != nil {
+			fmt.Fprintf(os.Stderr, "metricscheck: %s: %v\n", args[0], err)
+			os.Exit(1)
+		}
+		fmt.Printf("metricscheck: %s ok (timeline)\n", args[0])
+		return
+	}
 	if *compare {
 		if len(args) != 2 {
 			flag.Usage()

@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -24,6 +26,7 @@ import (
 	"github.com/neuro-c/neuroc/internal/bench"
 	"github.com/neuro-c/neuroc/internal/device"
 	"github.com/neuro-c/neuroc/internal/modelimg"
+	"github.com/neuro-c/neuroc/internal/obs"
 	"github.com/neuro-c/neuroc/internal/report"
 )
 
@@ -91,6 +94,8 @@ func main() {
 	encFlag := flag.String("encoding", "block", "deployment encoding for model experiments (block, csc, delta, mixed, unrolled, auto)")
 	cpuprofile := flag.String("cpuprofile", "", "write a host pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a host pprof heap profile to this file on exit")
+	listen := flag.String("listen", "", "serve live run metrics over HTTP on this address while experiments run (/metrics Prometheus text, /metrics.json snapshot)")
+	timeline := flag.String("timeline", "", "write the farm experiment's neuroc-timeline/v1 trace (Perfetto-loadable JSON) to this file")
 	flag.Parse()
 
 	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
@@ -120,6 +125,19 @@ func main() {
 	cfg := bench.Config{Quick: *quick, Seed: *seed, Workers: *workers, Tier: tier, Encoding: enc}
 	if *verbose {
 		cfg.Log = os.Stderr
+	}
+	if *listen != "" {
+		reg := obs.NewRegistry()
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "neuroc-bench: -listen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "neuroc-bench: live metrics on http://%s/metrics\n", ln.Addr())
+		srv := &http.Server{Handler: obs.Handler(reg)}
+		go srv.Serve(ln)
+		defer srv.Close()
+		cfg.Obs = reg
 	}
 	r := bench.New(cfg)
 
@@ -155,6 +173,23 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "neuroc-bench: wrote %d experiment metrics to %s\n",
 			len(r.Metrics().Experiments), *metrics)
+	}
+	if *timeline != "" {
+		f, err := os.Create(*timeline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "neuroc-bench:", err)
+			os.Exit(1)
+		}
+		if err := r.WriteTimelineJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "neuroc-bench: writing timeline:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "neuroc-bench: wrote run timeline to %s\n", *timeline)
 	}
 }
 

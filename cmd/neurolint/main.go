@@ -51,13 +51,14 @@ var (
 	// facts; host nondeterminism is banned outright.
 	deterministicPkgs = set(
 		"internal/armv6m", "internal/kernels", "internal/asmcheck",
-		"internal/telemetry", "internal/energy",
+		"internal/telemetry", "internal/energy", "internal/obs",
 	)
 	// artifactPkgs emit neuroc-*/v1 JSON or report tables whose byte
 	// stability the regression gates depend on.
 	artifactPkgs = set(
 		"internal/asmcheck", "internal/cert", "internal/telemetry",
 		"internal/energy", "internal/report", "internal/profile",
+		"internal/obs",
 	)
 	// pipelinePkgs are the measurement-pipeline libraries where a panic
 	// would take down a whole batch instead of failing one item.
@@ -65,13 +66,13 @@ var (
 		"internal/armv6m", "internal/kernels", "internal/asmcheck",
 		"internal/cert", "internal/telemetry", "internal/energy",
 		"internal/modelimg", "internal/device", "internal/farm",
-		"internal/report", "internal/profile",
+		"internal/report", "internal/profile", "internal/obs",
 	)
 	// cycleintPkgs is where cycle counts live and flow.
 	cycleintPkgs = set(
 		"internal/armv6m", "internal/kernels", "internal/asmcheck",
 		"internal/cert", "internal/telemetry", "internal/energy",
-		"internal/device", "internal/farm",
+		"internal/device", "internal/farm", "internal/obs",
 	)
 )
 

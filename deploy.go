@@ -35,6 +35,12 @@ type Deployment struct {
 	// the tracing interpreter regardless of Tier — cycle-attribution
 	// needs per-instruction hooks the translated tier cannot provide.
 	Tier device.Tier
+
+	// Observe, when non-nil, is passed to every batch evaluation's farm
+	// run (farm.Options.Observe): the live-metrics hook. It is called
+	// concurrently from the farm workers and must be safe for that; nil
+	// (the default) keeps every path identical to an unobserved run.
+	Observe func(i int, r *farm.Result)
 }
 
 // ErrNotDeployable reports a model that exceeds the device's flash or
@@ -108,7 +114,7 @@ func (d *Deployment) MeasureStats(ds *Dataset, runs int) (ms float64, cycles, in
 	for i := range inputs {
 		inputs[i] = d.QModel.QuantizeInput(ds.TestX.Row(i % ds.TestX.Rows))
 	}
-	results, _, err := farm.Map(d.Img, inputs, farm.Options{Workers: d.Workers, Tier: d.Tier})
+	results, _, err := farm.Map(d.Img, inputs, farm.Options{Workers: d.Workers, Tier: d.Tier, Observe: d.Observe})
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -119,6 +125,24 @@ func (d *Deployment) MeasureStats(ds *Dataset, runs int) (ms float64, cycles, in
 	}
 	meanCycles := totalCycles / uint64(runs)
 	return device.CyclesToMS(meanCycles), meanCycles, totalInstrs / uint64(runs), nil
+}
+
+// TelemetryTwin builds the deployment's telemetry twin: the same
+// quantized model, encoding, and resolved per-layer choices, plus the
+// on-device layer markers. The twin is what MeasureLayers,
+// MeasureEnergy, and the run-timeline builders execute — its
+// marker-corrected layer costs equal the uninstrumented deployment's
+// exactly (see internal/telemetry).
+func (d *Deployment) TelemetryTwin() (*modelimg.Image, error) {
+	img, err := modelimg.BuildOpts(d.QModel, modelimg.BuildOptions{
+		Encoding:  d.Encoding,
+		PerLayer:  d.Img.Encodings,
+		Telemetry: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("neuroc: building telemetry twin: %w", err)
+	}
+	return img, nil
 }
 
 // MeasureLayers measures per-layer cycle attribution with the on-device
@@ -132,19 +156,15 @@ func (d *Deployment) MeasureLayers(ds *Dataset, runs int) ([]telemetry.LayerStat
 	if runs <= 0 {
 		runs = 10
 	}
-	img, err := modelimg.BuildOpts(d.QModel, modelimg.BuildOptions{
-		Encoding:  d.Encoding,
-		PerLayer:  d.Img.Encodings,
-		Telemetry: true,
-	})
+	img, err := d.TelemetryTwin()
 	if err != nil {
-		return nil, fmt.Errorf("neuroc: building telemetry twin: %w", err)
+		return nil, err
 	}
 	inputs := make([][]int8, runs)
 	for i := range inputs {
 		inputs[i] = d.QModel.QuantizeInput(ds.TestX.Row(i % ds.TestX.Rows))
 	}
-	results, _, err := farm.Map(img, inputs, farm.Options{Workers: d.Workers, Tier: d.Tier})
+	results, _, err := farm.Map(img, inputs, farm.Options{Workers: d.Workers, Tier: d.Tier, Observe: d.Observe})
 	if err != nil {
 		return nil, err
 	}
@@ -162,19 +182,15 @@ func (d *Deployment) MeasureEnergy(ds *Dataset, runs int) (*telemetry.EnergyAggr
 	if runs <= 0 {
 		runs = 10
 	}
-	img, err := modelimg.BuildOpts(d.QModel, modelimg.BuildOptions{
-		Encoding:  d.Encoding,
-		PerLayer:  d.Img.Encodings,
-		Telemetry: true,
-	})
+	img, err := d.TelemetryTwin()
 	if err != nil {
-		return nil, fmt.Errorf("neuroc: building telemetry twin: %w", err)
+		return nil, err
 	}
 	inputs := make([][]int8, runs)
 	for i := range inputs {
 		inputs[i] = d.QModel.QuantizeInput(ds.TestX.Row(i % ds.TestX.Rows))
 	}
-	results, _, err := farm.Map(img, inputs, farm.Options{Workers: d.Workers, Tier: d.Tier})
+	results, _, err := farm.Map(img, inputs, farm.Options{Workers: d.Workers, Tier: d.Tier, Observe: d.Observe})
 	if err != nil {
 		return nil, err
 	}
@@ -216,7 +232,7 @@ func (d *Deployment) deviceAccuracyStats(ds *Dataset, n int) (float64, *farm.Sta
 	for i := range inputs {
 		inputs[i] = d.QModel.QuantizeInput(ds.TestX.Row(i))
 	}
-	return farm.Accuracy(d.Img, inputs, ds.TestY[:n], farm.Options{Workers: d.Workers, Tier: d.Tier})
+	return farm.Accuracy(d.Img, inputs, ds.TestY[:n], farm.Options{Workers: d.Workers, Tier: d.Tier, Observe: d.Observe})
 }
 
 // DeviceAccuracyChecked is DeviceAccuracy with a differential gate:
@@ -234,7 +250,7 @@ func (d *Deployment) DeviceAccuracyChecked(ds *Dataset, n int) (float64, *farm.S
 	for i := range inputs {
 		inputs[i] = d.QModel.QuantizeInput(ds.TestX.Row(i))
 	}
-	results, stats, err := farm.Map(d.Img, inputs, farm.Options{Workers: d.Workers, Tier: d.Tier})
+	results, stats, err := farm.Map(d.Img, inputs, farm.Options{Workers: d.Workers, Tier: d.Tier, Observe: d.Observe})
 	if err != nil {
 		return 0, stats, err
 	}

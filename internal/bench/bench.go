@@ -14,6 +14,7 @@ import (
 	"github.com/neuro-c/neuroc/internal/encoding"
 	"github.com/neuro-c/neuroc/internal/farm"
 	"github.com/neuro-c/neuroc/internal/modelimg"
+	"github.com/neuro-c/neuroc/internal/obs"
 	"github.com/neuro-c/neuroc/internal/quant"
 	"github.com/neuro-c/neuroc/internal/rng"
 )
@@ -45,6 +46,13 @@ type Config struct {
 	// per-layer search. Microbenchmarks that sweep encodings by design
 	// (fig5, pareto) ignore it.
 	Encoding modelimg.EncodingChoice
+
+	// Obs, when non-nil, receives live metrics during device
+	// measurements (`neuroc-bench -listen`): farm batches publish
+	// progress, latency histograms, and energy counters into it as they
+	// run. nil keeps every measurement path free of observer callbacks
+	// — bit-identical output, zero added per-inference work.
+	Obs *obs.Registry
 }
 
 // Runner executes experiments, caching generated datasets and trained
@@ -57,6 +65,33 @@ type Runner struct {
 	data     map[string]*dataset.Dataset
 	outcomes map[string]*outcome
 	metrics  map[string]Metric
+
+	// collector publishes farm batches into cfg.Obs (lazily built).
+	collector *obs.FarmCollector
+	// timeline is the neuroc-timeline/v1 document the farm experiment
+	// builds (`neuroc-bench -timeline`); nil until FarmBench runs.
+	timeline *obs.Timeline
+}
+
+// Collector returns the live-metrics collector bound to cfg.Obs, or nil
+// when no registry is configured.
+func (r *Runner) Collector() *obs.FarmCollector {
+	if r.cfg.Obs == nil {
+		return nil
+	}
+	if r.collector == nil {
+		r.collector = obs.NewFarmCollector(r.cfg.Obs, device.EnergyModel().ActiveUJPerCycle())
+	}
+	return r.collector
+}
+
+// WriteTimelineJSON emits the run timeline recorded by the farm
+// experiment (`neuroc-bench -exp farm -timeline out.json`).
+func (r *Runner) WriteTimelineJSON(w io.Writer) error {
+	if r.timeline == nil {
+		return fmt.Errorf("bench: no timeline recorded: the farm experiment builds it (-exp farm)")
+	}
+	return r.timeline.WriteJSON(w)
 }
 
 // New returns a Runner for cfg.
@@ -156,6 +191,9 @@ type measurement struct {
 	instructions uint64
 	flashBytes   int
 	ramBytes     int
+	// stats is the underlying farm run's aggregate (latency
+	// distributions, percentiles, wall figures).
+	stats *farm.Stats
 }
 
 // measureModel deploys m with enc and returns mean latency, cycle and
@@ -185,7 +223,7 @@ func measureModelOpts(m *quant.Model, opts modelimg.BuildOptions, runs, workers 
 	for i := range inputs {
 		inputs[i] = in
 	}
-	results, _, err := farm.Map(img, inputs, farm.Options{Workers: workers})
+	results, stats, err := farm.Map(img, inputs, farm.Options{Workers: workers})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -202,6 +240,7 @@ func measureModelOpts(m *quant.Model, opts modelimg.BuildOptions, runs, workers 
 		instructions: instrs,
 		flashBytes:   img.TotalBytes(),
 		ramBytes:     img.RAMBytes,
+		stats:        stats,
 	}, img, nil
 }
 
@@ -228,11 +267,19 @@ func (r *Runner) measureMicroOpts(name string, m *quant.Model, opts modelimg.Bui
 	if opts.Encoding == modelimg.UseAuto && len(opts.PerLayer) == 0 && len(img.Encodings) > 0 {
 		label = fmt.Sprintf("auto(%s)", img.Encodings[0])
 	}
-	r.record(Metric{
+	met := Metric{
 		Name: name, Kind: "micro", Encoding: label,
 		Cycles: meas.cycles, Instructions: meas.instructions,
 		LatencyMS: meas.ms, FlashBytes: meas.flashBytes, RAMBytes: meas.ramBytes,
 		Deployable: true,
-	})
+	}
+	// Distribution keys for the microbenchmark's farm run: the repeated
+	// single input makes every cycle percentile equal the measured cycle
+	// count — recorded anyway so the pareto/fig records carry the same
+	// exact-gated key set as the farm records.
+	if meas.stats != nil {
+		latencyDist(&met, meas.stats)
+	}
+	r.record(met)
 	return meas, img, nil
 }

@@ -6,7 +6,9 @@ import (
 
 	"github.com/neuro-c/neuroc/internal/dataset"
 	"github.com/neuro-c/neuroc/internal/device"
+	"github.com/neuro-c/neuroc/internal/farm"
 	"github.com/neuro-c/neuroc/internal/report"
+	"github.com/neuro-c/neuroc/internal/telemetry"
 )
 
 // farmPools returns the worker counts the farm experiment sweeps: the
@@ -43,12 +45,26 @@ func (r *Runner) FarmBench() *report.Table {
 
 	t := report.New(fmt.Sprintf("Board farm: full digits test set on-emulator (%d samples, %d host cores)",
 		full.TestX.Rows, runtime.NumCPU()),
-		"pool", "on-device acc", "host ref acc", "latency/inf", "wall", "infs/sec", "speedup", "host MIPS")
+		"pool", "on-device acc", "host ref acc", "latency/inf", "p99/inf", "wall", "infs/sec", "speedup", "host MIPS")
+
+	// Live metrics: when a registry is configured (`-listen`), every
+	// farm item is published as it completes. The callback reads only
+	// fields the worker already wrote — it cannot perturb results.
+	c := r.Collector()
+	if c != nil {
+		o.dep.Observe = func(i int, res *farm.Result) {
+			c.Observe(res.Cycles, res.HostDurNS, res.Err != nil, res.TelemetryDropped)
+		}
+		defer func() { o.dep.Observe = nil }()
+	}
 
 	hostAcc := o.dep.QModel.Accuracy(full.TestX, full.TestY)
 	var baseWallMS float64
 	for _, j := range r.farmPools() {
 		o.dep.Workers = j
+		if c != nil {
+			c.StartBatch(full.TestX.Rows, j, tierName(r.cfg.Tier))
+		}
 		acc, stats, err := o.dep.DeviceAccuracyChecked(full, 0)
 		if err != nil {
 			panic(fmt.Sprintf("bench: farm evaluation (-j %d): %v", j, err))
@@ -65,11 +81,12 @@ func (r *Runner) FarmBench() *report.Table {
 			speedup = baseWallMS / wallMS
 		}
 		t.Add(fmt.Sprintf("-j %d", j), report.Pct(acc), report.Pct(hostAcc),
-			report.MS(stats.LatencyMS()), fmt.Sprintf("%.0f ms", wallMS),
+			report.MS(stats.LatencyMS()), report.MS(device.CyclesToMS(stats.P99Cycles)),
+			fmt.Sprintf("%.0f ms", wallMS),
 			fmt.Sprintf("%.0f", stats.Throughput()),
 			fmt.Sprintf("%.2fx", speedup),
 			fmt.Sprintf("%.0f", stats.HostMIPS()))
-		r.record(Metric{
+		m := Metric{
 			Name: fmt.Sprintf("farm-digits-j%d", j), Kind: "farm",
 			Cycles: stats.MeanCycles, LatencyMS: stats.LatencyMS(),
 			Accuracy: acc, AccuracyFloat: o.floatAcc,
@@ -81,10 +98,13 @@ func (r *Runner) FarmBench() *report.Table {
 			PredecodeBuildMS: float64(stats.PredecodeBuild.Microseconds()) / 1000,
 			Tier:             tierName(r.cfg.Tier),
 			TranslateBuildMS: float64(stats.TranslateBuild.Microseconds()) / 1000,
-		})
-		r.logf("farm -j %d: acc %.4f, %d samples in %.0f ms (%.0f inf/s, %.2fx, %.0f host MIPS, predecode %.2f ms)",
+		}
+		latencyDist(&m, stats)
+		r.record(m)
+		r.logf("farm -j %d: acc %.4f, %d samples in %.0f ms (%.0f inf/s, %.2fx, %.0f host MIPS, predecode %.2f ms, p50/p99 %d/%d cycles)",
 			j, acc, stats.Items, wallMS, stats.Throughput(), speedup,
-			stats.HostMIPS(), float64(stats.PredecodeBuild.Microseconds())/1000)
+			stats.HostMIPS(), float64(stats.PredecodeBuild.Microseconds())/1000,
+			stats.P50Cycles, stats.P99Cycles)
 	}
 	// Tier comparison point: the same reference pool pinned to the
 	// predecoded tier. The accuracy and per-input cycles are identical
@@ -92,6 +112,9 @@ func (r *Runner) FarmBench() *report.Table {
 	// which is the translated tier's speedup in the metrics trajectory.
 	o.dep.Workers = 4
 	o.dep.Tier = device.TierPredecoded
+	if c != nil {
+		c.StartBatch(full.TestX.Rows, 4, string(device.TierPredecoded))
+	}
 	acc, stats, err := o.dep.DeviceAccuracyChecked(full, 0)
 	if err != nil {
 		panic(fmt.Sprintf("bench: farm predecoded-tier evaluation: %v", err))
@@ -104,7 +127,7 @@ func (r *Runner) FarmBench() *report.Table {
 	if predWallMS > 0 {
 		predSpeedup = baseWallMS / predWallMS
 	}
-	r.record(Metric{
+	pm := Metric{
 		Name: "farm-digits-j4-predecoded", Kind: "farm",
 		Cycles: stats.MeanCycles, LatencyMS: stats.LatencyMS(),
 		Accuracy: acc, AccuracyFloat: o.floatAcc,
@@ -115,12 +138,70 @@ func (r *Runner) FarmBench() *report.Table {
 		HostMIPS:         stats.HostMIPS(),
 		PredecodeBuildMS: float64(stats.PredecodeBuild.Microseconds()) / 1000,
 		Tier:             string(device.TierPredecoded),
-	})
+	}
+	latencyDist(&pm, stats)
+	r.record(pm)
 	r.logf("farm -j 4 (predecoded tier): acc %.4f, %.0f host MIPS", acc, stats.HostMIPS())
 	o.dep.Workers = r.cfg.Workers
 	o.dep.Tier = r.cfg.Tier
+	r.buildFarmTimeline(o, full)
 	t.Note = "identical accuracy and per-input cycles at every pool size (bit-deterministic); speedup is host wall-clock only"
 	return t
+}
+
+// buildFarmTimeline records the run timeline the farm experiment
+// exports (`neuroc-bench -exp farm -timeline out.json`): a
+// telemetry-twin batch over the head of the full test split, so every
+// inference span nests exact layer spans. The twin's marker-corrected
+// layer costs equal the uninstrumented deployment's, and the cycle
+// domain of the resulting document is byte-identical at any pool size
+// and on any tier (tested in internal/telemetry).
+func (r *Runner) buildFarmTimeline(o *outcome, full *dataset.Dataset) {
+	n := 64
+	if r.cfg.Quick {
+		n = 16
+	}
+	if n > full.TestX.Rows {
+		n = full.TestX.Rows
+	}
+	twin, err := o.dep.TelemetryTwin()
+	if err != nil {
+		panic(fmt.Sprintf("bench: farm timeline twin: %v", err))
+	}
+	inputs := make([][]int8, n)
+	for i := range inputs {
+		inputs[i] = o.dep.QModel.QuantizeInput(full.TestX.Row(i))
+	}
+	c := r.Collector()
+	opts := farm.Options{Workers: r.cfg.Workers, Tier: r.cfg.Tier}
+	if c != nil {
+		c.StartBatch(n, r.cfg.Workers, tierName(r.cfg.Tier))
+		opts.Observe = func(i int, res *farm.Result) {
+			c.Observe(res.Cycles, res.HostDurNS, res.Err != nil, res.TelemetryDropped)
+			spans, derr := telemetry.DecodeImage(twin, res.Telemetry, 0)
+			if derr != nil {
+				return
+			}
+			for _, s := range spans {
+				c.ObserveLayer(s.Layer, s.Kernel, s.Cycles)
+			}
+		}
+	}
+	results, _, err := farm.Map(twin, inputs, opts)
+	if err != nil {
+		panic(fmt.Sprintf("bench: farm timeline batch: %v", err))
+	}
+	em := device.EnergyModel()
+	tl, err := telemetry.BuildTimeline(twin, results, telemetry.TimelineConfig{
+		Tier:        tierName(r.cfg.Tier),
+		Energy:      &em,
+		IncludeWall: true,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: farm timeline: %v", err))
+	}
+	r.timeline = tl
+	r.logf("farm timeline: %d inferences, %d trace events", n, len(tl.TraceEvents))
 }
 
 // tierName renders a device.Tier for the metrics document, naming the

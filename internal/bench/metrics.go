@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"github.com/neuro-c/neuroc/internal/device"
+	"github.com/neuro-c/neuroc/internal/farm"
 )
 
 // MetricsSchema identifies the structured-metrics JSON format emitted
@@ -56,6 +57,25 @@ type Metric struct {
 	WallMS       float64 `json:"wall_ms,omitempty"`
 	InfersPerSec float64 `json:"infers_per_sec,omitempty"`
 	Speedup      float64 `json:"speedup,omitempty"`
+
+	// Per-inference latency distribution over the record's batch.
+	// The cycle-domain percentiles are exact nearest-rank order
+	// statistics from the farm (farm.Stats.P50Cycles...) — fully
+	// deterministic, exact-gated by metricscheck -compare. The
+	// wall-domain percentiles and the listen overhead are host
+	// measurements — banded, never exact-gated.
+	LatencyCyclesP50  uint64  `json:"latency_cycles_p50,omitempty"`
+	LatencyCyclesP95  uint64  `json:"latency_cycles_p95,omitempty"`
+	LatencyCyclesP99  uint64  `json:"latency_cycles_p99,omitempty"`
+	LatencyCyclesP999 uint64  `json:"latency_cycles_p999,omitempty"`
+	LatencyWallP50MS  float64 `json:"latency_wall_p50_ms,omitempty"`
+	LatencyWallP95MS  float64 `json:"latency_wall_p95_ms,omitempty"`
+	LatencyWallP99MS  float64 `json:"latency_wall_p99_ms,omitempty"`
+	LatencyWallP999MS float64 `json:"latency_wall_p999_ms,omitempty"`
+	// ListenOverheadMS is the host time the run spent inside live-
+	// metrics observer callbacks (farm.Stats.ObserveOverhead); zero
+	// when no -listen endpoint was attached.
+	ListenOverheadMS float64 `json:"listen_overhead_ms,omitempty"`
 
 	// Emulation-throughput observability: millions of emulated
 	// instructions retired per host second across the pool, and the
@@ -117,6 +137,23 @@ type MetricsFile struct {
 	Quick       bool     `json:"quick"`
 	Seed        uint64   `json:"seed"`
 	Experiments []Metric `json:"experiments"`
+}
+
+// latencyDist fills m's latency-distribution keys from a farm run:
+// exact cycle-domain percentiles, banded wall-domain percentiles, and
+// the observer overhead.
+func latencyDist(m *Metric, stats *farm.Stats) {
+	m.LatencyCyclesP50 = stats.P50Cycles
+	m.LatencyCyclesP95 = stats.P95Cycles
+	m.LatencyCyclesP99 = stats.P99Cycles
+	m.LatencyCyclesP999 = stats.P999Cycles
+	if stats.WallHist != nil && stats.WallHist.Count() > 0 {
+		m.LatencyWallP50MS = float64(stats.WallHist.Quantile(0.50)) / 1e6
+		m.LatencyWallP95MS = float64(stats.WallHist.Quantile(0.95)) / 1e6
+		m.LatencyWallP99MS = float64(stats.WallHist.Quantile(0.99)) / 1e6
+		m.LatencyWallP999MS = float64(stats.WallHist.Quantile(0.999)) / 1e6
+	}
+	m.ListenOverheadMS = float64(stats.ObserveOverhead.Microseconds()) / 1000
 }
 
 // record registers a metric under its name, overwriting an earlier
@@ -200,6 +237,29 @@ func ValidateMetricsJSON(data []byte) error {
 			var v float64
 			if err := json.Unmarshal(raw, &v); err != nil {
 				return fmt.Errorf("metrics: experiment %d key %q is not a number: %s", i, k, raw)
+			}
+		}
+		// Cycle-domain latency percentiles: exact non-negative integers
+		// (they are order statistics over exact cycle counts).
+		for _, k := range []string{"latency_cycles_p50", "latency_cycles_p95", "latency_cycles_p99", "latency_cycles_p999"} {
+			raw, ok := e[k]
+			if !ok {
+				continue
+			}
+			var v uint64
+			if err := json.Unmarshal(raw, &v); err != nil {
+				return fmt.Errorf("metrics: experiment %d key %q is not a non-negative integer: %s", i, k, raw)
+			}
+		}
+		// Wall-domain latency keys: finite non-negative numbers (banded
+		// in comparisons, but a NaN or negative value is still a bug).
+		for _, k := range []string{"latency_wall_p50_ms", "latency_wall_p95_ms", "latency_wall_p99_ms", "latency_wall_p999_ms", "listen_overhead_ms"} {
+			raw, ok := e[k]
+			if !ok {
+				continue
+			}
+			if err := checkEnergyNumber(raw); err != nil {
+				return fmt.Errorf("metrics: experiment %d key %q: %w", i, k, err)
 			}
 		}
 		// Energy keys: finite non-negative numbers wherever they appear.

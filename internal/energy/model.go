@@ -66,6 +66,15 @@ func (m Model) ActiveUJ(cycles uint64) float64 {
 	return m.ActiveJ(cycles) * 1e6
 }
 
+// ActiveUJPerCycle is the per-cycle active price in microjoules — the
+// constant live-metrics accumulators multiply into observed cycle
+// counts (obs.FarmCollector.UJPerCycle). ActiveUJ(c) ==
+// ActiveUJPerCycle()*c up to float association; use ActiveUJ for the
+// exact-gated artifacts.
+func (m Model) ActiveUJPerCycle() float64 {
+	return m.CoreJPerCycle() * 1e6
+}
+
 // Counts are the measured quantities a Model prices. They come from the
 // emulator's exact counters: CPU cycles and the trace hook's bus-region
 // attribution.

@@ -1,0 +1,50 @@
+package farm_test
+
+import (
+	"testing"
+
+	"github.com/neuro-c/neuroc/internal/device"
+	"github.com/neuro-c/neuroc/internal/farm"
+)
+
+// TestMapMarginalAllocs pins the per-inference allocation cost of the
+// unobserved farm path: with Observe nil, the only thing Map allocates
+// per item is what the board itself allocates for the result — the
+// latency histograms, wall-clock stamps, and percentile bookkeeping
+// added for live metrics are array-indexed or per-batch, never
+// per-item. The marginal cost is measured as the alloc difference
+// between a 64-item and a 32-item batch (fixed per-batch overhead —
+// boards, channels, histograms — cancels) and compared against a
+// direct board.Run loop.
+func TestMapMarginalAllocs(t *testing.T) {
+	img := testImage(t)
+	small := testInputs(32, img.InDim)
+	big := testInputs(64, img.InDim)
+
+	mapAllocs := func(inputs [][]int8) float64 {
+		return testing.AllocsPerRun(5, func() {
+			if _, _, err := farm.Map(img, inputs, farm.Options{Workers: 1}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	marginal := (mapAllocs(big) - mapAllocs(small)) / 32
+
+	fi, err := device.NewFlashImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	board := fi.NewBoard()
+	direct := testing.AllocsPerRun(32, func() {
+		if _, err := board.Run(small[0]); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// Allow one extra alloc of slack for measurement jitter; the real
+	// bound is equality (the farm adds zero allocations per item).
+	if marginal > direct+1 {
+		t.Fatalf("farm.Map marginal allocs/item = %.1f, direct board.Run = %.1f: the farm is allocating per item",
+			marginal, direct)
+	}
+}

@@ -16,6 +16,7 @@ package farm
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,6 +24,7 @@ import (
 	"github.com/neuro-c/neuroc/internal/armv6m"
 	"github.com/neuro-c/neuroc/internal/device"
 	"github.com/neuro-c/neuroc/internal/modelimg"
+	"github.com/neuro-c/neuroc/internal/obs"
 )
 
 // Options configures a Map run.
@@ -56,6 +58,15 @@ type Options struct {
 	// certificate, or combined with Checked — fails the whole Map up
 	// front rather than per item, since no input could ever succeed.
 	Tier device.Tier
+
+	// Observe, when non-nil, is called once per completed item, from
+	// the worker that ran it, right after results[i] is written — the
+	// live-metrics hook (obs.FarmCollector). It runs concurrently from
+	// every worker and must be safe for that; the pointee is fully
+	// written and never touched again by the farm. The time spent
+	// inside Observe calls is accounted in Stats.ObserveOverhead. A nil
+	// Observe adds nothing to the per-inference hot path.
+	Observe func(i int, r *Result)
 }
 
 // Result is the measurement for one input, at the same index Map
@@ -77,6 +88,16 @@ type Result struct {
 	// Err is the per-item failure (bus fault, budget exhaustion).
 	// Items with Err != nil have no Output.
 	Err error
+
+	// Worker is the pool index of the board that ran this item — a
+	// wall-domain fact (which worker got which item depends on host
+	// scheduling); the cycle-domain fields above never depend on it.
+	Worker int
+	// HostStartNS and HostDurNS place this item on the host wall
+	// clock, relative to the batch start (obs wall-domain spans).
+	// Banded, never gated: they vary run to run by nature.
+	HostStartNS int64
+	HostDurNS   int64
 }
 
 // Argmax returns the index of the largest output, the class decision
@@ -116,6 +137,25 @@ type Stats struct {
 	// superblock translation table from the image's certificate (zero
 	// when the image carries none).
 	TranslateBuild time.Duration
+
+	// CycleHist and WallHist are the per-inference latency
+	// distributions over successful items: device cycles (cycle domain,
+	// deterministic — merging the per-worker histograms is exact, so
+	// the result is identical at any worker count) and host wall
+	// nanoseconds (wall domain, banded). See internal/obs.
+	CycleHist *obs.Hist
+	WallHist  *obs.Hist
+
+	// P50Cycles..P999Cycles are exact nearest-rank order statistics
+	// over the successful items' cycle counts — not histogram
+	// approximations — so they are deterministic and exact-gated by
+	// metricscheck -compare like every other cycle figure.
+	P50Cycles, P95Cycles, P99Cycles, P999Cycles uint64
+
+	// ObserveOverhead is the total host time spent inside
+	// Options.Observe callbacks, summed across workers; zero when no
+	// observer is installed. It bounds what live metrics cost the run.
+	ObserveOverhead time.Duration
 }
 
 // LatencyMS is the mean emulated latency per successful inference.
@@ -172,11 +212,18 @@ func Map(img *modelimg.Image, inputs [][]int8, opts Options) ([]Result, *Stats, 
 	}
 	start := time.Now()
 	results := make([]Result, len(inputs))
+	// Per-worker histograms: each worker records its own items without
+	// synchronization, and the merge after the barrier is exact bucket
+	// addition — the merged distributions are bit-identical to a serial
+	// run's, whatever the scheduling (tested: TestFarmHistMergeProperty).
+	cycleHists := make([]obs.Hist, workers)
+	wallHists := make([]obs.Hist, workers)
+	var observeNS atomic.Int64
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			board := fi.NewBoard()
 			board.Budget = opts.Budget
@@ -190,30 +237,50 @@ func Map(img *modelimg.Image, inputs [][]int8, opts Options) ([]Result, *Stats, 
 				if i >= len(inputs) {
 					return
 				}
+				itemStart := time.Now()
 				res, err := board.Run(inputs[i])
+				dur := time.Since(itemStart)
 				if err != nil {
 					results[i] = Result{Err: fmt.Errorf("farm: input %d: %w", i, err)}
-					continue
+				} else {
+					results[i] = Result{
+						Output:           res.Output,
+						Cycles:           res.Cycles,
+						Instructions:     res.Instructions,
+						SleepCycles:      res.SleepCycles,
+						Telemetry:        res.Telemetry,
+						TelemetryDropped: res.TelemetryDropped,
+					}
+					cycleHists[w].Record(res.Cycles)
+					wallHists[w].Record(uint64(dur.Nanoseconds()))
 				}
-				results[i] = Result{
-					Output:           res.Output,
-					Cycles:           res.Cycles,
-					Instructions:     res.Instructions,
-					SleepCycles:      res.SleepCycles,
-					Telemetry:        res.Telemetry,
-					TelemetryDropped: res.TelemetryDropped,
+				results[i].Worker = w
+				results[i].HostStartNS = itemStart.Sub(start).Nanoseconds()
+				results[i].HostDurNS = dur.Nanoseconds()
+				if opts.Observe != nil {
+					obsStart := time.Now()
+					opts.Observe(i, &results[i])
+					observeNS.Add(time.Since(obsStart).Nanoseconds())
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 
 	stats := &Stats{
 		Items: len(inputs), Workers: workers, Wall: time.Since(start),
-		PredecodeBuild: fi.Table.BuildTime(),
-		TranslateBuild: fi.TransBuild,
+		PredecodeBuild:  fi.Table.BuildTime(),
+		TranslateBuild:  fi.TransBuild,
+		CycleHist:       &obs.Hist{},
+		WallHist:        &obs.Hist{},
+		ObserveOverhead: time.Duration(observeNS.Load()),
+	}
+	for w := range cycleHists {
+		stats.CycleHist.Merge(&cycleHists[w])
+		stats.WallHist.Merge(&wallHists[w])
 	}
 	var firstErr error
+	okCycles := make([]uint64, 0, len(results))
 	for i := range results {
 		if results[i].Err != nil {
 			stats.Failed++
@@ -224,6 +291,7 @@ func Map(img *modelimg.Image, inputs [][]int8, opts Options) ([]Result, *Stats, 
 		}
 		stats.Instructions += results[i].Instructions
 		c := results[i].Cycles
+		okCycles = append(okCycles, c)
 		stats.TotalCycles += c
 		if stats.MinCycles == 0 || c < stats.MinCycles {
 			stats.MinCycles = c
@@ -235,6 +303,14 @@ func Map(img *modelimg.Image, inputs [][]int8, opts Options) ([]Result, *Stats, 
 	if ok := stats.Items - stats.Failed; ok > 0 {
 		stats.MeanCycles = stats.TotalCycles / uint64(ok)
 	}
+	// Exact order statistics over the successful items, independent of
+	// worker count (the multiset of cycle counts is): the exact-gated
+	// latency percentiles.
+	sort.Slice(okCycles, func(i, j int) bool { return okCycles[i] < okCycles[j] })
+	stats.P50Cycles = obs.Percentile(okCycles, 0.50)
+	stats.P95Cycles = obs.Percentile(okCycles, 0.95)
+	stats.P99Cycles = obs.Percentile(okCycles, 0.99)
+	stats.P999Cycles = obs.Percentile(okCycles, 0.999)
 	return results, stats, firstErr
 }
 

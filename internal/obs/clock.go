@@ -1,0 +1,12 @@
+package obs
+
+import "time"
+
+// WallNow is the host-wall span clock: the single place the
+// observability layer reads the host clock. Everything derived from it
+// (wall-domain spans, snapshot capture times, scrape timestamps) is
+// banded in comparisons and never exact-gated; cycle-domain code must
+// not call it.
+func WallNow() time.Time {
+	return time.Now() //neurolint:allow nondet (host-wall span clock: wall-domain only, banded, never feeds cycle-exact artifacts)
+}

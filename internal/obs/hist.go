@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Log-linear histogram over uint64 values (HDR-style): values below 32
+// land in exact unit buckets; above that, each power of two is split
+// into 16 linear sub-buckets, bounding the relative quantile error at
+// 1/16 (6.25%) while keeping the bucket layout fixed and deterministic.
+// Recording is branch-cheap and allocation-free, and merging two
+// histograms is exact bucket-wise addition — the property the farm's
+// per-worker histograms rely on: merging worker histograms yields
+// bit-identically the histogram of the whole batch, regardless of how
+// items were scheduled.
+
+const (
+	// histSub is the number of linear sub-buckets per power of two.
+	histSub = 16
+	// histLinear is the exact-bucket region: values < histLinear get
+	// one bucket each (indices equal values). histLinearBits is
+	// bits.Len64(histLinear), spelled out because bits.Len64 is not a
+	// constant expression.
+	histLinear     = 2 * histSub
+	histLinearBits = 6
+	// histBuckets spans the full uint64 range: exp runs 1..59 above the
+	// linear region (bits.Len64(max)=64 -> exp 59).
+	histBuckets = histLinear + (64-histLinearBits+1)*histSub
+)
+
+// Hist is a fixed-layout log-linear histogram. The zero value is ready
+// to use. Hist is not synchronized; wrap it (Registry histograms) or
+// confine it to one goroutine (farm workers) for concurrent use.
+type Hist struct {
+	count uint64
+	sum   uint64
+	min   uint64
+	max   uint64
+	b     [histBuckets]uint64
+}
+
+// histIndex maps a value to its bucket.
+func histIndex(v uint64) int {
+	if v < histLinear {
+		return int(v)
+	}
+	exp := bits.Len64(v) - histLinearBits + 1 // >= 1
+	mant := v >> uint(exp)                    // in [histSub, 2*histSub)
+	return exp*histSub + int(mant)
+}
+
+// histUpper is the inclusive upper bound of bucket idx.
+func histUpper(idx int) uint64 {
+	if idx < histLinear {
+		return uint64(idx)
+	}
+	exp := idx/histSub - 1
+	mant := uint64(idx - exp*histSub)
+	return (mant+1)<<uint(exp) - 1
+}
+
+// Record adds one observation. Allocation-free.
+func (h *Hist) Record(v uint64) {
+	h.b[histIndex(v)]++
+	h.sum += v
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+}
+
+// Merge folds other into h: exact bucket-wise addition, so the result
+// is identical to recording both histograms' observations into one,
+// in any order.
+func (h *Hist) Merge(other *Hist) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	for i := range h.b {
+		h.b[i] += other.b[i]
+	}
+	h.sum += other.sum
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+}
+
+// Count, Sum, Min, and Max report the exact observation aggregates.
+func (h *Hist) Count() uint64 { return h.count }
+func (h *Hist) Sum() uint64   { return h.sum }
+func (h *Hist) Min() uint64   { return h.min }
+func (h *Hist) Max() uint64   { return h.max }
+
+// Mean is the exact arithmetic mean (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns the nearest-rank q-quantile (q in [0,1]) as the
+// upper bound of the bucket holding that rank, clamped to the exact
+// observed [min, max]. Values in the linear region are exact; above it
+// the relative error is at most 1/histSub. Deterministic: depends only
+// on the recorded multiset.
+func (h *Hist) Quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(q*float64(h.count) + 0.9999999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	var cum uint64
+	for i := range h.b {
+		cum += h.b[i]
+		if cum >= rank {
+			v := histUpper(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Buckets calls f for every non-empty bucket in ascending order with
+// the bucket's inclusive upper bound and its count — the iteration
+// Prometheus exposition builds its cumulative le series from.
+func (h *Hist) Buckets(f func(upper uint64, count uint64)) {
+	for i := range h.b {
+		if h.b[i] != 0 {
+			f(histUpper(i), h.b[i])
+		}
+	}
+}
+
+// String summarizes the histogram for logs.
+func (h *Hist) String() string {
+	return fmt.Sprintf("n=%d min=%d p50=%d p99=%d max=%d",
+		h.count, h.min, h.Quantile(0.50), h.Quantile(0.99), h.max)
+}
+
+// Percentile is the exact nearest-rank order statistic over an
+// ascending-sorted slice: the value at rank ceil(q*n). This is what the
+// farm's exact-gated cycle percentiles use — no bucketing error, just
+// the sorted batch itself.
+func Percentile(sorted []uint64, q float64) uint64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	rank := int(q*float64(n) + 0.9999999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}

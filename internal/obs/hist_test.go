@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"testing"
+
+	"github.com/neuro-c/neuroc/internal/rng"
+)
+
+// TestHistIndexLayout pins the bucket layout: exact unit buckets below
+// histLinear, then 16 linear sub-buckets per power of two, with no gap
+// or overlap at the seam.
+func TestHistIndexLayout(t *testing.T) {
+	for v := uint64(0); v < histLinear; v++ {
+		if got := histIndex(v); got != int(v) {
+			t.Fatalf("histIndex(%d) = %d, want %d (linear region)", v, got, v)
+		}
+	}
+	// The seam: 31 is the last linear bucket, 32 the first log bucket.
+	if got := histIndex(histLinear); got != histLinear {
+		t.Fatalf("histIndex(%d) = %d, want %d (seam)", histLinear, got, histLinear)
+	}
+	// Monotone, and every value is within its bucket's bounds.
+	r := rng.New(11)
+	for i := 0; i < 10000; i++ {
+		v := r.Uint64() >> uint(r.Intn(64))
+		idx := histIndex(v)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("histIndex(%d) = %d out of range [0,%d)", v, idx, histBuckets)
+		}
+		if up := histUpper(idx); v > up {
+			t.Fatalf("value %d above its bucket %d upper bound %d", v, idx, up)
+		}
+		if idx > 0 {
+			if lowUp := histUpper(idx - 1); v <= lowUp {
+				t.Fatalf("value %d at or below previous bucket %d upper bound %d", v, idx-1, lowUp)
+			}
+		}
+	}
+	// The top of the range must still fit.
+	if idx := histIndex(^uint64(0)); idx >= histBuckets {
+		t.Fatalf("histIndex(max) = %d out of range [0,%d)", idx, histBuckets)
+	}
+	_ = bits.Len64 // layout constants mirror bits.Len64; keep the import honest
+	if histLinearBits != bits.Len64(histLinear) {
+		t.Fatalf("histLinearBits = %d, want bits.Len64(%d) = %d", histLinearBits, histLinear, bits.Len64(histLinear))
+	}
+}
+
+// TestHistMergeProperty is the merge property the farm relies on:
+// splitting a stream of observations across any number of per-worker
+// histograms and merging them is bit-identical to recording the whole
+// stream into one histogram, for any assignment of items to workers.
+func TestHistMergeProperty(t *testing.T) {
+	r := rng.New(42)
+	for trial := 0; trial < 20; trial++ {
+		workers := 1 + r.Intn(8)
+		n := 1 + r.Intn(500)
+		var single Hist
+		parts := make([]Hist, workers)
+		for i := 0; i < n; i++ {
+			// Mix magnitudes: small exact values and large log-region ones.
+			v := r.Uint64() >> uint(r.Intn(64))
+			single.Record(v)
+			parts[r.Intn(workers)].Record(v)
+		}
+		var merged Hist
+		for i := range parts {
+			merged.Merge(&parts[i])
+		}
+		if merged != single {
+			t.Fatalf("trial %d (%d workers, %d items): merged != single\nmerged: %v\nsingle: %v",
+				trial, workers, n, merged.String(), single.String())
+		}
+	}
+}
+
+// TestHistQuantileBounds: quantiles are clamped to the observed range
+// and within the layout's 1/histSub relative error of the exact order
+// statistic.
+func TestHistQuantileBounds(t *testing.T) {
+	r := rng.New(7)
+	var h Hist
+	var vals []uint64
+	for i := 0; i < 1000; i++ {
+		v := uint64(r.Intn(1 << 20))
+		h.Record(v)
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 0.999, 1} {
+		got := h.Quantile(q)
+		exact := Percentile(vals, q)
+		if got < h.Min() || got > h.Max() {
+			t.Fatalf("Quantile(%g) = %d outside [%d,%d]", q, got, h.Min(), h.Max())
+		}
+		if got < exact {
+			t.Fatalf("Quantile(%g) = %d below exact order statistic %d", q, got, exact)
+		}
+		if exact > 0 && float64(got-exact) > float64(exact)/histSub+1 {
+			t.Fatalf("Quantile(%g) = %d, exact %d: relative error above 1/%d", q, got, exact, histSub)
+		}
+	}
+}
+
+// TestPercentileExact pins the nearest-rank definition on a tiny slice.
+func TestPercentileExact(t *testing.T) {
+	s := []uint64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	cases := []struct {
+		q    float64
+		want uint64
+	}{
+		{0.50, 50}, {0.95, 100}, {0.99, 100}, {0.10, 10}, {1, 100}, {0, 10},
+	}
+	for _, c := range cases {
+		if got := Percentile(s, c.q); got != c.want {
+			t.Errorf("Percentile(%g) = %d, want %d", c.q, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("Percentile(nil) = %d, want 0", got)
+	}
+}
+
+// TestHistEmptyAndSingle covers the degenerate shapes.
+func TestHistEmptyAndSingle(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("empty hist must report zeros")
+	}
+	h.Record(9909)
+	for _, q := range []float64{0, 0.5, 0.999, 1} {
+		if got := h.Quantile(q); got != 9909 {
+			t.Fatalf("single-value Quantile(%g) = %d, want 9909", q, got)
+		}
+	}
+	if h.Min() != 9909 || h.Max() != 9909 || h.Sum() != 9909 {
+		t.Fatal("single-value aggregates wrong")
+	}
+}

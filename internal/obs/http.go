@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Handler serves the registry over HTTP:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  neuroc-livemetrics/v1 snapshot
+//	/              pointer page
+//
+// Scrapes are safe at any time, including mid-batch: every read path
+// snapshots under the same locks the writers take, so a scrape sees a
+// consistent value per series (the batch keeps running around it).
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := r.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprintln(w, "neuroc live metrics: /metrics (Prometheus text), /metrics.json (snapshot)")
+	})
+	return mux
+}

@@ -1,0 +1,348 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Live metrics registry: counters, gauges, and histograms a running
+// batch updates and an HTTP scrape reads concurrently. Families render
+// in registration order and series in sorted-label order, so the
+// Prometheus text and JSON snapshots are deterministically ordered (the
+// values themselves are live, so snapshots are not byte-stable — they
+// are the wall domain of the observability split).
+
+// LiveSchema identifies the JSON snapshot document.
+const LiveSchema = "neuroc-livemetrics/v1"
+
+// Label is one metric label pair.
+type Label struct{ Key, Value string }
+
+// renderLabels formats labels as a Prometheus label block (`{k="v"}`),
+// sorted by key; empty for no labels.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+type family struct {
+	name   string
+	help   string
+	kind   string // "counter", "gauge", "histogram"
+	mu     sync.Mutex
+	series []*series
+	byKey  map[string]*series // lookup only; iteration uses the slice
+}
+
+type series struct {
+	labels string // rendered label block, "" for none
+	ival   atomic.Int64
+	fbits  atomic.Uint64 // float64 bits, for float-valued series
+	isFlt  bool
+	mu     sync.Mutex // guards hist
+	hist   *Hist
+}
+
+func (f *family) get(labels []Label) *series {
+	key := renderLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.byKey[key]; ok {
+		return s
+	}
+	s := &series{labels: key}
+	if f.kind == "histogram" {
+		s.hist = &Hist{}
+	}
+	f.byKey[key] = s
+	f.series = append(f.series, s)
+	return s
+}
+
+// sortedSeries snapshots the family's series sorted by label block.
+func (f *family) sortedSeries() []*series {
+	f.mu.Lock()
+	ss := make([]*series, len(f.series))
+	copy(ss, f.series)
+	f.mu.Unlock()
+	sort.Slice(ss, func(i, j int) bool { return ss[i].labels < ss[j].labels })
+	return ss
+}
+
+// Registry holds the metric families of one process. The zero value is
+// not usable; use NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family // lookup only; iteration uses the slice
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help, kind string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.kind != kind {
+			// Registration bugs surface at the call site as a typed error
+			// value would, but a mis-kinded metric cannot be used at all.
+			return &family{name: name, help: help, kind: kind, byKey: map[string]*series{}}
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, byKey: map[string]*series{}}
+	r.byName[name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+// Counter is a monotonically increasing integer metric handle.
+type Counter struct{ s *series }
+
+// Counter registers (or finds) a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) Counter {
+	return Counter{r.family(name, help, "counter").get(labels)}
+}
+
+// Add increments the counter by d (d < 0 is ignored).
+func (c Counter) Add(d int64) {
+	if d > 0 {
+		c.s.ival.Add(d)
+	}
+}
+
+// Inc adds one.
+func (c Counter) Inc() { c.s.ival.Add(1) }
+
+// Value reads the current count.
+func (c Counter) Value() int64 { return c.s.ival.Load() }
+
+// FloatCounter is a monotonically increasing float metric handle (e.g.
+// accumulated µJ).
+type FloatCounter struct{ s *series }
+
+// FloatCounter registers (or finds) a float counter series.
+func (r *Registry) FloatCounter(name, help string, labels ...Label) FloatCounter {
+	f := r.family(name, help, "counter").get(labels)
+	f.isFlt = true
+	return FloatCounter{f}
+}
+
+// Add accumulates d (d < 0 is ignored).
+func (c FloatCounter) Add(d float64) {
+	if d <= 0 {
+		return
+	}
+	for {
+		old := c.s.fbits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if c.s.fbits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value reads the accumulated total.
+func (c FloatCounter) Value() float64 { return math.Float64frombits(c.s.fbits.Load()) }
+
+// Gauge is a set-anytime integer metric handle.
+type Gauge struct{ s *series }
+
+// Gauge registers (or finds) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) Gauge {
+	return Gauge{r.family(name, help, "gauge").get(labels)}
+}
+
+// Set stores v.
+func (g Gauge) Set(v int64) { g.s.ival.Store(v) }
+
+// Add adjusts the gauge by d.
+func (g Gauge) Add(d int64) { g.s.ival.Add(d) }
+
+// Value reads the gauge.
+func (g Gauge) Value() int64 { return g.s.ival.Load() }
+
+// Histogram is a log-bucketed distribution metric handle (see Hist).
+type Histogram struct{ s *series }
+
+// Histogram registers (or finds) a histogram series.
+func (r *Registry) Histogram(name, help string, labels ...Label) Histogram {
+	return Histogram{r.family(name, help, "histogram").get(labels)}
+}
+
+// Observe records one value.
+func (h Histogram) Observe(v uint64) {
+	h.s.mu.Lock()
+	h.s.hist.Record(v)
+	h.s.mu.Unlock()
+}
+
+// Snapshot copies the underlying histogram for lock-free reading.
+func (h Histogram) Snapshot() Hist {
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	return *h.s.hist
+}
+
+// snapshotFamilies copies the family list for iteration outside the
+// registry lock.
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.Lock()
+	fs := make([]*family, len(r.families))
+	copy(fs, r.families)
+	r.mu.Unlock()
+	return fs
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format. Histograms emit cumulative le buckets (one
+// per non-empty underlying bucket, each le the bucket's inclusive upper
+// bound), plus the conventional _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.snapshotFamilies() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.sortedSeries() {
+			var err error
+			switch {
+			case f.kind == "histogram":
+				err = writePromHist(w, f.name, s)
+			case s.isFlt:
+				_, err = fmt.Fprintf(w, "%s%s %g\n", f.name, s.labels, math.Float64frombits(s.fbits.Load()))
+			default:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.ival.Load())
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// promLabel splices an extra label into an already-rendered block.
+func promLabel(block, extra string) string {
+	if block == "" {
+		return "{" + extra + "}"
+	}
+	return block[:len(block)-1] + "," + extra + "}"
+}
+
+func writePromHist(w io.Writer, name string, s *series) error {
+	s.mu.Lock()
+	h := *s.hist
+	s.mu.Unlock()
+	var cum uint64
+	var err error
+	h.Buckets(func(upper, count uint64) {
+		if err != nil {
+			return
+		}
+		cum += count
+		_, err = fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabel(s.labels, fmt.Sprintf("le=%q", fmt.Sprint(upper))), cum)
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabel(s.labels, `le="+Inf"`), h.Count()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", name, s.labels, h.Sum()); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s_count%s %d\n", name, s.labels, h.Count())
+	return err
+}
+
+// Snapshot types for the JSON endpoint.
+type liveSnapshot struct {
+	Schema         string       `json:"schema"`
+	CapturedUnixNS int64        `json:"captured_unix_ns"`
+	Metrics        []liveFamily `json:"metrics"`
+}
+
+type liveFamily struct {
+	Name   string       `json:"name"`
+	Kind   string       `json:"kind"`
+	Help   string       `json:"help"`
+	Series []liveSeries `json:"series"`
+}
+
+type liveSeries struct {
+	Labels string    `json:"labels,omitempty"`
+	Value  *float64  `json:"value,omitempty"`
+	Hist   *liveHist `json:"hist,omitempty"`
+}
+
+type liveHist struct {
+	Count uint64  `json:"count"`
+	Sum   uint64  `json:"sum"`
+	Min   uint64  `json:"min"`
+	Max   uint64  `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   uint64  `json:"p50"`
+	P95   uint64  `json:"p95"`
+	P99   uint64  `json:"p99"`
+	P999  uint64  `json:"p999"`
+}
+
+// WriteJSON renders the live snapshot document
+// (neuroc-livemetrics/v1): every family with per-series values, and
+// derived quantiles for histograms. The capture time is the host wall
+// clock — this endpoint is wall-domain by definition.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := liveSnapshot{Schema: LiveSchema, CapturedUnixNS: WallNow().UnixNano()}
+	for _, f := range r.snapshotFamilies() {
+		lf := liveFamily{Name: f.name, Kind: f.kind, Help: f.help}
+		for _, s := range f.sortedSeries() {
+			ls := liveSeries{Labels: s.labels}
+			if f.kind == "histogram" {
+				s.mu.Lock()
+				h := *s.hist
+				s.mu.Unlock()
+				ls.Hist = &liveHist{
+					Count: h.Count(), Sum: h.Sum(), Min: h.Min(), Max: h.Max(), Mean: h.Mean(),
+					P50: h.Quantile(0.50), P95: h.Quantile(0.95),
+					P99: h.Quantile(0.99), P999: h.Quantile(0.999),
+				}
+			} else {
+				var v float64
+				if s.isFlt {
+					v = math.Float64frombits(s.fbits.Load())
+				} else {
+					v = float64(s.ival.Load())
+				}
+				ls.Value = &v
+			}
+			lf.Series = append(lf.Series, ls)
+		}
+		snap.Metrics = append(snap.Metrics, lf)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryPrometheus pins the text exposition: family order is
+// registration order, series order is sorted labels, histograms emit
+// cumulative le buckets plus _sum/_count.
+func TestRegistryPrometheus(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("neuroc_test_total", "test counter")
+	c.Add(3)
+	c.Inc()
+	g := r.Gauge("neuroc_test_items", "test gauge", Label{"tier", "auto"})
+	g.Set(42)
+	fc := r.FloatCounter("neuroc_test_uj_total", "test float counter")
+	fc.Add(1.5)
+	fc.Add(2.25)
+	h := r.Histogram("neuroc_test_cycles", "test hist")
+	for _, v := range []uint64{5, 5, 40, 100} {
+		h.Observe(v)
+	}
+
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE neuroc_test_total counter",
+		"neuroc_test_total 4",
+		`neuroc_test_items{tier="auto"} 42`,
+		"neuroc_test_uj_total 3.75",
+		`neuroc_test_cycles_bucket{le="5"} 2`,
+		`neuroc_test_cycles_bucket{le="+Inf"} 4`,
+		"neuroc_test_cycles_sum 150",
+		"neuroc_test_cycles_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Prometheus text missing %q in:\n%s", want, out)
+		}
+	}
+	// le buckets are cumulative: the 40 bucket must include the two 5s.
+	if !strings.Contains(out, `neuroc_test_cycles_bucket{le="41"} 3`) {
+		t.Errorf("cumulative le bucket for 40 wrong in:\n%s", out)
+	}
+	// Families render in registration order.
+	if strings.Index(out, "neuroc_test_total") > strings.Index(out, "neuroc_test_cycles") {
+		t.Error("families not in registration order")
+	}
+}
+
+// TestRegistryJSON checks the neuroc-livemetrics/v1 snapshot shape.
+func TestRegistryJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("neuroc_a_total", "a").Add(7)
+	h := r.Histogram("neuroc_b_cycles", "b")
+	for v := uint64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	var b bytes.Buffer
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Schema         string `json:"schema"`
+		CapturedUnixNS int64  `json:"captured_unix_ns"`
+		Metrics        []struct {
+			Name   string `json:"name"`
+			Kind   string `json:"kind"`
+			Series []struct {
+				Value *float64 `json:"value"`
+				Hist  *struct {
+					Count uint64 `json:"count"`
+					P50   uint64 `json:"p50"`
+					P99   uint64 `json:"p99"`
+				} `json:"hist"`
+			} `json:"series"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != LiveSchema {
+		t.Fatalf("schema %q, want %q", snap.Schema, LiveSchema)
+	}
+	if snap.CapturedUnixNS == 0 {
+		t.Fatal("captured_unix_ns missing")
+	}
+	if len(snap.Metrics) != 2 {
+		t.Fatalf("got %d families, want 2", len(snap.Metrics))
+	}
+	if v := snap.Metrics[0].Series[0].Value; v == nil || *v != 7 {
+		t.Fatalf("counter value = %v, want 7", v)
+	}
+	hh := snap.Metrics[1].Series[0].Hist
+	if hh == nil || hh.Count != 100 {
+		t.Fatalf("hist snapshot = %+v, want count 100", hh)
+	}
+	if hh.P50 < 50 || hh.P50 > 54 || hh.P99 < 99 || hh.P99 > 103 {
+		t.Fatalf("hist quantiles p50=%d p99=%d outside layout error bounds", hh.P50, hh.P99)
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines while
+// a reader renders — the race detector is the assertion.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("neuroc_c_total", "c")
+	fc := r.FloatCounter("neuroc_f_total", "f")
+	h := r.Histogram("neuroc_h_cycles", "h")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				fc.Add(0.5)
+				h.Observe(uint64(i))
+			}
+		}()
+	}
+	for i := 0; i < 10; i++ {
+		var b bytes.Buffer
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Error(err)
+		}
+		if err := r.WriteJSON(&b); err != nil {
+			t.Error(err)
+		}
+	}
+	wg.Wait()
+	if got := c.Value(); got != 4000 {
+		t.Fatalf("counter = %d, want 4000", got)
+	}
+	if got := fc.Value(); got != 2000 {
+		t.Fatalf("float counter = %g, want 2000", got)
+	}
+	hs := h.Snapshot()
+	if got := hs.Count(); got != 4000 {
+		t.Fatalf("hist count = %d, want 4000", got)
+	}
+}

@@ -51,8 +51,13 @@ func (p *Profile) EnergyTable(m energy.Model) *report.Table {
 	t.Add("sram accesses", ct.SRAMAccesses, uj(b.SRAMJ), pctJ(b.SRAMJ))
 	t.Add("flash wait stalls", ct.FlashWaitCycles, uj(b.WaitJ), pctJ(b.WaitJ))
 	t.Add("sleep (WFI)", ct.SleepCycles, uj(b.SleepJ), pctJ(b.SleepJ))
-	t.Note = fmt.Sprintf("total: %s µJ at %.1f mW active / %.1f µW sleep (%d Hz)",
-		uj(b.TotalJ), m.Budget.ActivePowerW()*1e3, m.Budget.SleepPowerW()*1e6, m.ClockHz)
+	// The per-cycle price is what the live-metrics collector
+	// (obs.FarmCollector) multiplies exact cycle counts by; printing it
+	// here lets profile figures be cross-checked against the
+	// neuroc_energy_uj_total counter directly.
+	t.Note = fmt.Sprintf("total: %s µJ at %.1f mW active / %.1f µW sleep (%d Hz, %.6f µJ/cycle active)",
+		uj(b.TotalJ), m.Budget.ActivePowerW()*1e3, m.Budget.SleepPowerW()*1e6, m.ClockHz,
+		m.ActiveUJPerCycle())
 	return t
 }
 

@@ -89,6 +89,26 @@ func LayerBoundaryAddrs(img *modelimg.Image) ([]uint32, error) {
 // each entry includes the two markers the instrumented layer carries
 // (subtract 2*MarkerCost to compare against an uninstrumented build).
 func HostLayerCycles(d *device.Device, input []int8) ([]uint64, *device.Result, error) {
+	spans, res, err := HostLayerSpans(d, input)
+	if err != nil {
+		return nil, nil, err
+	}
+	layers := make([]uint64, len(spans))
+	for i := range spans {
+		layers[i] = spans[i].Cycles
+	}
+	return layers, res, nil
+}
+
+// HostLayerSpans is HostLayerCycles in span form: one traced inference,
+// segmented into layer spans by the image's boundary labels. It is the
+// span source for images built *without* telemetry markers — Enter and
+// Exit are the cycle totals at the l<i>_call / next-boundary
+// instructions (no marker correction applies, there are no markers),
+// and on an uninstrumented image each span's Cycles is the pure layer
+// cost, bit-equal to the marker-corrected cost the telemetry twin
+// reports (tested in host_test.go).
+func HostLayerSpans(d *device.Device, input []int8) ([]Span, *device.Result, error) {
 	addrs, err := LayerBoundaryAddrs(d.Img)
 	if err != nil {
 		return nil, nil, err
@@ -100,13 +120,19 @@ func HostLayerCycles(d *device.Device, input []int8) ([]uint64, *device.Result, 
 	if err != nil {
 		return nil, nil, err
 	}
-	layers := make([]uint64, len(addrs)-1)
-	for i := range layers {
+	spans := make([]Span, len(addrs)-1)
+	for i := range spans {
 		lo, hi := seg.Marks[i], seg.Marks[i+1]
 		if !lo.Hit || !hi.Hit {
 			return nil, nil, fmt.Errorf("telemetry: boundary l%d_call never retired", i)
 		}
-		layers[i] = hi.Before - lo.Before
+		spans[i] = Span{
+			Layer:  i,
+			Kernel: d.Img.Layers[i].Kernel,
+			Enter:  lo.Before,
+			Exit:   hi.Before,
+			Cycles: hi.Before - lo.Before,
+		}
 	}
-	return layers, res, nil
+	return spans, res, nil
 }

@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"testing"
+
+	"github.com/neuro-c/neuroc/internal/device"
+	"github.com/neuro-c/neuroc/internal/modelimg"
+	"github.com/neuro-c/neuroc/internal/rng"
+)
+
+// TestHostLayerSpansTwinParity is the parity promised in the
+// HostLayerSpans doc comment: spans segmented from an *uninstrumented*
+// image's boundary labels carry the same per-layer cycle costs as the
+// telemetry twin's marker-corrected spans, layer by layer, and the
+// span fields (Layer, Kernel, Enter < Exit, Cycles == Exit - Enter)
+// are internally consistent.
+func TestHostLayerSpansTwinParity(t *testing.T) {
+	m := testModel()
+	for _, ws := range []int{0, 1} {
+		imgOff, err := modelimg.BuildOpts(m, modelimg.BuildOptions{Encoding: modelimg.UseBlock})
+		if err != nil {
+			t.Fatal(err)
+		}
+		imgOn, err := modelimg.BuildOpts(m, modelimg.BuildOptions{Encoding: modelimg.UseBlock, Telemetry: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		devOff, err := device.New(imgOff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devOn, err := device.New(imgOn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devOff.CPU.Bus.FlashWaitStates = ws
+		devOn.CPU.Bus.FlashWaitStates = ws
+		in := randInput(rng.New(13), m.Layers[0].In)
+
+		hostSpans, _, err := HostLayerSpans(devOff, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resOn, err := devOn.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		twinSpans, err := DecodeImage(imgOn, resOn.Telemetry, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hostSpans) != len(m.Layers) || len(twinSpans) != len(m.Layers) {
+			t.Fatalf("ws %d: %d host spans, %d twin spans, want %d", ws, len(hostSpans), len(twinSpans), len(m.Layers))
+		}
+		for i := range hostSpans {
+			h, tw := hostSpans[i], twinSpans[i]
+			if h.Layer != i || h.Kernel != imgOff.Layers[i].Kernel {
+				t.Errorf("ws %d layer %d: span identity %d %q", ws, i, h.Layer, h.Kernel)
+			}
+			if h.Enter >= h.Exit || h.Cycles != h.Exit-h.Enter {
+				t.Errorf("ws %d layer %d: inconsistent span [%d,%d) cycles %d", ws, i, h.Enter, h.Exit, h.Cycles)
+			}
+			if h.Cycles != tw.Cycles {
+				t.Errorf("ws %d layer %d: host-segmented %d cycles, telemetry twin %d",
+					ws, i, h.Cycles, tw.Cycles)
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"github.com/neuro-c/neuroc/internal/device"
+	"github.com/neuro-c/neuroc/internal/energy"
+	"github.com/neuro-c/neuroc/internal/farm"
+	"github.com/neuro-c/neuroc/internal/modelimg"
+	"github.com/neuro-c/neuroc/internal/obs"
+)
+
+// Run-timeline construction: the bridge from the exact substrates (farm
+// results, mailbox telemetry) to the obs span model. The cycle-domain
+// tree is the virtual serial execution — inferences concatenated in
+// input order — so its serialized form is byte-identical at any worker
+// count and on any execution tier; layer spans come from the telemetry
+// decoder and inherit its exactness contract (marker-corrected costs
+// that sum, with the fixed overhead and entry glue, to the inference
+// total, cycle for cycle).
+
+// TimelineConfig configures BuildTimeline.
+type TimelineConfig struct {
+	// FlashWaitStates is the ws the batch ran at (marker correction).
+	FlashWaitStates int
+	// Tier labels the batch span ("auto", "legacy", ...). Informational.
+	Tier string
+	// Energy, when non-nil, prices every span's cycles into its UJ arg.
+	Energy *energy.Model
+	// IncludeWall adds the host wall-clock domain (per-worker tracks).
+	// Leave off for byte-compared or golden-pinned timelines.
+	IncludeWall bool
+}
+
+// BuildBatchSpans folds a farm run into a batch span tree. Failed items
+// carry no cycles and are skipped; for telemetry images every
+// successful item must decode completely (a dropped event would make
+// the layer spans unsound, exactly as in BuildReport).
+func BuildBatchSpans(img *modelimg.Image, results []farm.Result, cfg TimelineConfig) (*obs.Span, error) {
+	root := &obs.Span{Name: "batch", Cat: obs.CatBatch, Args: obs.SpanArgs{Tier: cfg.Tier}}
+	var cursor uint64
+	for i := range results {
+		res := &results[i]
+		if res.Err != nil {
+			continue
+		}
+		inf := &obs.Span{
+			Name: fmt.Sprintf("inference %d", i),
+			Cat:  obs.CatInference,
+			Args: obs.SpanArgs{StartCycles: cursor, Cycles: res.Cycles},
+
+			WallStartNS: res.HostStartNS,
+			WallDurNS:   res.HostDurNS,
+			Worker:      res.Worker,
+		}
+		if img.Telemetry {
+			if res.TelemetryDropped > 0 {
+				return nil, fmt.Errorf("timeline: item %d dropped %d telemetry events, layer spans incomplete",
+					i, res.TelemetryDropped)
+			}
+			spans, err := DecodeImage(img, res.Telemetry, cfg.FlashWaitStates)
+			if err != nil {
+				return nil, fmt.Errorf("timeline: item %d: %w", i, err)
+			}
+			for _, s := range spans {
+				layer := &obs.Span{
+					Name: fmt.Sprintf("layer %d %s", s.Layer, s.Kernel),
+					Cat:  obs.CatLayer,
+					Args: obs.SpanArgs{
+						// The corrected body occupies [Enter, Enter+Cycles)
+						// within the inference (the enter marker's own cost
+						// lands before Enter, the exit marker's after).
+						StartCycles: cursor + s.Enter,
+						Cycles:      s.Cycles,
+						Kernel:      s.Kernel,
+					},
+				}
+				if s.Layer < len(img.Encodings) {
+					layer.Args.Encoding = img.Encodings[s.Layer].String()
+				}
+				inf.Args.LayerCycles += s.Cycles
+				inf.Children = append(inf.Children, layer)
+			}
+			inf.Args.OverheadCycles = Overhead(len(spans), cfg.FlashWaitStates)
+			if accounted := inf.Args.LayerCycles + inf.Args.OverheadCycles; accounted > res.Cycles {
+				return nil, fmt.Errorf("timeline: item %d: layers (%d) + overhead (%d) exceed total cycles (%d)",
+					i, inf.Args.LayerCycles, inf.Args.OverheadCycles, res.Cycles)
+			}
+			inf.Args.OtherCycles = res.Cycles - inf.Args.LayerCycles - inf.Args.OverheadCycles
+		}
+		cursor += res.Cycles
+		root.Children = append(root.Children, inf)
+	}
+	if len(root.Children) == 0 {
+		return nil, fmt.Errorf("timeline: no successful inferences to place on the timeline")
+	}
+	root.Args.Cycles = cursor
+	if cfg.Energy != nil {
+		priceSpans(root, cfg.Energy)
+	}
+	return root, nil
+}
+
+// priceSpans annotates every span with its active energy.
+func priceSpans(s *obs.Span, m *energy.Model) {
+	s.Args.UJ = m.ActiveUJ(s.Args.Cycles)
+	for _, c := range s.Children {
+		priceSpans(c, m)
+	}
+}
+
+// BuildTimeline is BuildBatchSpans plus serialization to the
+// neuroc-timeline/v1 document.
+func BuildTimeline(img *modelimg.Image, results []farm.Result, cfg TimelineConfig) (*obs.Timeline, error) {
+	root, err := BuildBatchSpans(img, results, cfg)
+	if err != nil {
+		return nil, err
+	}
+	meta := obs.TimelineMeta{
+		ClockHz:         device.ClockHz,
+		FlashWaitStates: cfg.FlashWaitStates,
+		Tier:            cfg.Tier,
+		Items:           len(root.Children),
+	}
+	if cfg.IncludeWall {
+		maxWorker := 0
+		for _, inf := range root.Children {
+			if inf.Worker > maxWorker {
+				maxWorker = inf.Worker
+			}
+		}
+		meta.Workers = maxWorker + 1
+	}
+	return obs.NewTimeline(root, obs.TimelineOptions{
+		ClockHz:     device.ClockHz,
+		IncludeWall: cfg.IncludeWall,
+		Meta:        meta,
+	})
+}

@@ -103,10 +103,18 @@ echo "== bench-smoke (quick device-measured experiments + metrics JSON)"
 # to -j 1; only wall-clock changes, and only on multi-core hosts).
 # `neuroc-bench -quick -metrics bench_quick.json` (all experiments)
 # produces the same file at CI-training scale.
-go run ./cmd/neuroc-bench -exp table1,fig2,fig3,fig5,pareto,farm -quick -j 4 -metrics bench_quick.json > /dev/null
+go run ./cmd/neuroc-bench -exp table1,fig2,fig3,fig5,pareto,farm -quick -j 4 -metrics bench_quick.json -timeline timeline_quick.json > /dev/null
 
 echo "== metricscheck"
 go run ./cmd/metricscheck bench_quick.json
+
+echo "== timeline-smoke (neuroc-timeline/v1 shape + span-tree invariants)"
+# The farm experiment above also emitted the run timeline. Gate it: the
+# validator checks the Chrome trace-event shape, that inference spans
+# concatenate gaplessly in input order, that layer spans stay inside
+# their inference, and that Σ layer cycles + overhead + other equals
+# each inference's cycle count exactly.
+go run ./cmd/metricscheck -timeline timeline_quick.json
 
 echo "== metrics regression gate (deterministic keys vs committed baseline)"
 # Every emulator-computed key (cycle counts, instructions, accuracy,
